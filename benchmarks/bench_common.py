@@ -1,0 +1,89 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one table/figure of the paper: it runs the
+required simulations (memoised across the pytest session via
+``repro.sim.runner``), renders the rows/series the paper reports, prints
+them, and archives them under ``benchmarks/results/``.
+
+Runtime knobs (environment):
+
+- ``REPRO_SCALE``        : tiny | small | medium | large — accesses per
+  workload and multi-core mix count (see repro.sim.config).
+- ``REPRO_MAX_WORKLOADS``: cap the workload count of the expensive
+  all-workload figures (0 = no cap).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List
+
+from repro.analysis.report import format_table
+from repro.workloads.suites import catalog, workloads_by_suite
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Suite-balanced subset used by benches where 80 workloads are overkill
+#: (the per-suite proportions mirror the full catalog).
+REPRESENTATIVE_WORKLOADS = [
+    # SPEC06
+    "lbm", "milc", "mcf", "soplex", "bwaves", "GemsFDTD", "libquantum",
+    # SPEC17
+    "fotonik3d_s", "roms_s", "cactuBSSN_s", "gcc_s",
+    # GAP / CLOUD / ML
+    "pr.road", "tc.road", "graph_analytics", "mlpack_cf",
+    # QMM
+    "qmm_fp_95", "qmm_fp_67", "qmm_fp_87", "qmm_fp_12", "qmm_int_906",
+]
+
+
+def max_workloads() -> int:
+    return int(os.environ.get("REPRO_MAX_WORKLOADS", "0"))
+
+
+#: Workloads that anchor the paper's qualitative claims; capped samples
+#: always include them so shape assertions remain meaningful.
+ANCHOR_WORKLOADS = ["lbm", "milc", "tc.road", "soplex"]
+
+
+def all_workload_names(limit: bool = True) -> List[str]:
+    """All 80 intensive workloads, optionally capped by the env knob."""
+    names = [spec.name for spec in workloads_by_suite()]
+    cap = max_workloads()
+    if limit and cap and cap < len(names):
+        # Keep suite balance by taking a strided sample...
+        stride = len(names) / cap
+        names = [names[int(i * stride)] for i in range(cap)]
+        # ...but always retain the behavioural anchor workloads.
+        for anchor in ANCHOR_WORKLOADS:
+            if anchor not in names:
+                names[names.index(next(n for n in names
+                                       if n not in ANCHOR_WORKLOADS))] = anchor
+    return names
+
+
+def representative_workloads() -> List[str]:
+    cap = max_workloads()
+    names = list(REPRESENTATIVE_WORKLOADS)
+    if cap and cap < len(names):
+        names = names[:cap]
+    return names
+
+
+def suite_map() -> Dict[str, str]:
+    return {name: spec.suite for name, spec in catalog().items()}
+
+
+def save_result(name: str, text: str) -> None:
+    """Archive one figure's regenerated output and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+def table(name: str, title: str, headers, rows) -> str:
+    text = format_table(headers, rows, title=title)
+    save_result(name, text)
+    return text

@@ -1,0 +1,56 @@
+"""Extension — additional page sizes (paper Section IV-A).
+
+The paper notes PPM generalises to N concurrent page sizes at
+``ceil(log2 N)`` bits per L1D MSHR entry.  This bench exercises the full
+1GB path: workloads backed by manually allocated (hugetlbfs-style) 1GB
+pages, PPM widened to 2 bits, and the PSA window opened to the 1GB page,
+compared against the same workloads on 2MB THP and on 4KB-only.
+"""
+
+from bench_common import save_result
+
+from repro.analysis.report import format_table
+from repro.core.ppm import PageSizePropagationModule
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import simulate_workload
+
+WORKLOADS = ["lbm", "bwaves", "GemsFDTD"]
+
+
+def run_pair(workload, gb_fraction, config):
+    base = simulate_workload(workload, variant="original", config=config,
+                             gb_fraction=gb_fraction)
+    psa = simulate_workload(workload, variant="psa", config=config,
+                            gb_fraction=gb_fraction)
+    return (psa.ipc / base.ipc - 1) * 100
+
+
+def collect():
+    config2 = SystemConfig()                 # 4KB + 2MB (default)
+    config3 = SystemConfig()
+    config3.num_page_sizes = 3               # + 1GB
+    rows = []
+    for workload in WORKLOADS:
+        thp_gain = run_pair(workload, 0.0, config2)
+        gb_gain = run_pair(workload, 1.0, config3)
+        rows.append([workload, thp_gain, gb_gain])
+    return rows
+
+
+def test_ext_page_sizes(benchmark):
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    text = format_table(
+        ["workload", "PSA gain % (2MB THP)", "PSA gain % (1GB pages)"],
+        rows, title="Extension — PSA gains under 2MB vs 1GB backing")
+    text += ("\n\nPPM storage: "
+             f"{PageSizePropagationModule.bits_per_mshr_entry(2)} bit/entry "
+             f"for 2 sizes, "
+             f"{PageSizePropagationModule.bits_per_mshr_entry(3)} bits/entry "
+             f"for 3 sizes (16-entry L1D MSHR: 16 vs 32 bits total)")
+    save_result("ext_page_sizes", text)
+    for row in rows:
+        # 1GB backing unlocks comparable gains to 2MB backing (the window
+        # is a superset; the baseline is also slightly stronger under 1GB
+        # pages because walks are shorter, which trims the relative gain).
+        assert row[2] > 0.0
+        assert row[2] >= row[1] - 4.0

@@ -1,0 +1,57 @@
+"""Figure 3 — percentage of allocated memory mapped to 2MB pages across
+execution, for the nine motivation workloads.
+
+The paper measures this on a real Xeon with the page-collect tool; here
+the THP allocator plays the OS role: we replay each workload's access
+stream through the allocator and sample its live 2MB-usage fraction.
+Most workloads sit high (THP-heavy) and stay flat over time; soplex is
+the low outlier — the same shape as the paper's Fig. 3.
+"""
+
+from bench_common import save_result
+
+from repro.analysis.report import sparkline
+from repro.sim.config import accesses_for_scale
+from repro.vm.allocator import PhysicalMemoryAllocator
+from repro.workloads.suites import MOTIVATION_WORKLOADS, catalog
+
+SAMPLES = 24
+
+
+def thp_usage_curve(workload: str, n_accesses: int):
+    spec = catalog()[workload]
+    trace = spec.generate(n_accesses)
+    allocator = PhysicalMemoryAllocator(
+        thp_fraction=spec.thp_fraction, seed=hash(workload) & 0xFFFF)
+    step = max(1, len(trace.records) // SAMPLES)
+    for index, record in enumerate(trace.records):
+        allocator.translate(record[1])
+        if index % step == step - 1:
+            allocator.sample_usage(index + 1)
+    return [fraction for _, fraction in allocator.usage_samples]
+
+
+def collect_curves():
+    n = accesses_for_scale()
+    return {workload: thp_usage_curve(workload, n)
+            for workload in MOTIVATION_WORKLOADS}
+
+
+def test_fig03_thp_usage(benchmark):
+    curves = benchmark.pedantic(collect_curves, rounds=1, iterations=1)
+    lines = ["Fig. 3 — % of allocated memory in 2MB pages over execution",
+             "=" * 58]
+    for workload, curve in curves.items():
+        final = curve[-1] * 100
+        lines.append(f"{workload:>14s}  final={final:5.1f}%  "
+                     f"[{sparkline(curve)}]")
+    save_result("fig03_thp_usage", "\n".join(lines))
+    # Paper shape: most workloads heavily use 2MB pages; soplex does not.
+    finals = {w: c[-1] for w, c in curves.items()}
+    heavy = [w for w, v in finals.items() if v > 0.7]
+    assert len(heavy) >= 6
+    assert finals["soplex"] < 0.3
+    # Usage is roughly stable across execution (no collapse over time).
+    for workload, curve in curves.items():
+        later = curve[len(curve) // 2:]
+        assert max(later) - min(later) < 0.35

@@ -1,0 +1,48 @@
+"""Figure 8 — SPP-PSA, SPP-PSA-2MB and SPP-PSA-SD speedups over original
+SPP, per workload across the full 80-workload set, plus the geomean.
+
+Paper numbers: geomeans of +5.5% (PSA), +3.0% (PSA-2MB), +8.1% (PSA-SD);
+PSA-2MB is bimodal (large wins on milc-class, large losses on
+tc.road-class); PSA-SD tracks the better component per workload.
+Set ``REPRO_MAX_WORKLOADS`` to cap the workload count for quick runs.
+"""
+
+from bench_common import all_workload_names, table
+
+from repro.analysis.stats import geomean_speedup_percent
+from repro.sim.runner import speedup
+
+VARIANTS = ["psa", "psa-2mb", "psa-sd"]
+
+
+def collect_rows():
+    workloads = all_workload_names()
+    rows = []
+    per_variant = {variant: [] for variant in VARIANTS}
+    for workload in workloads:
+        row = [workload]
+        for variant in VARIANTS:
+            value = speedup(workload, "spp", variant)
+            per_variant[variant].append(value)
+            row.append((value - 1) * 100)
+        rows.append(row)
+    rows.append(["GeoMean"] + [geomean_speedup_percent(per_variant[v])
+                               for v in VARIANTS])
+    return rows
+
+
+def test_fig08_spp_per_workload(benchmark):
+    rows = benchmark.pedantic(collect_rows, rounds=1, iterations=1)
+    table("fig08_spp_per_workload",
+          "Fig. 8 — speedup (%) over original SPP, all workloads",
+          ["workload", "SPP-PSA", "SPP-PSA-2MB", "SPP-PSA-SD"], rows)
+    geomeans = rows[-1]
+    psa, psa2, sd = geomeans[1], geomeans[2], geomeans[3]
+    # Paper ordering: PSA-SD >= PSA > PSA-2MB in geomean, all directions.
+    assert psa > 0.5, "PSA should improve geomean over original SPP"
+    assert sd >= psa - 0.5, "PSA-SD should match or beat PSA in geomean"
+    assert sd > psa2, "PSA-SD should beat PSA-2MB in geomean"
+    # PSA-2MB is bimodal: at least one big win and one loss per the paper.
+    body = rows[:-1]
+    assert any(row[2] > 10 for row in body), "no milc-class PSA-2MB win"
+    assert any(row[2] < -2 for row in body), "no tc.road-class PSA-2MB loss"

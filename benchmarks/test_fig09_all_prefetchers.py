@@ -1,0 +1,58 @@
+"""Figure 9 — per-suite geomean speedups of the PSA / PSA-2MB / PSA-SD
+versions of SPP, VLDP, PPF and BOP over each prefetcher's original.
+
+Paper geomeans over all workloads: SPP (+5.5/+3.0/+8.1), VLDP
+(+2.1/-/+4.0), PPF (+4.7/-/+5.1), BOP (+2.1/+2.1/+2.1 — its three
+variants are identical because BOP has no page-indexed structure).
+
+Uses the suite-balanced representative subset (REPRO_MAX_WORKLOADS caps
+it further); per-suite grouping follows the paper's SPEC /
+GAP+ML+CLOUD / QMM / ALL x-axis.
+"""
+
+import pytest
+
+from bench_common import representative_workloads, suite_map, table
+
+from repro.analysis.stats import per_suite_geomeans
+from repro.sim.runner import speedups_over_baseline
+from repro.workloads.suites import FIG9_GROUPS
+
+PREFETCHERS = ["spp", "vldp", "ppf", "bop"]
+VARIANTS = ["psa", "psa-2mb", "psa-sd"]
+
+
+def collect_rows():
+    workloads = representative_workloads()
+    suites = suite_map()
+    rows = []
+    geomeans = {}
+    for prefetcher in PREFETCHERS:
+        for variant in VARIANTS:
+            values = speedups_over_baseline(workloads, prefetcher, variant)
+            groups = per_suite_geomeans(values, suites, FIG9_GROUPS)
+            geomeans[(prefetcher, variant)] = groups
+            rows.append([f"{prefetcher.upper()}-{variant.upper()}"]
+                        + [groups.get(g, 0.0)
+                           for g in ("SPEC", "GAP+ML+CLOUD", "QMM", "ALL")])
+    return rows, geomeans
+
+
+def test_fig09_all_prefetchers(benchmark):
+    rows, geomeans = benchmark.pedantic(collect_rows, rounds=1, iterations=1)
+    table("fig09_all_prefetchers",
+          "Fig. 9 — geomean speedup (%) over each prefetcher's original",
+          ["config", "SPEC", "GAP+ML+CLOUD", "QMM", "ALL"], rows)
+    # PSA improves every prefetcher overall.
+    for prefetcher in PREFETCHERS:
+        assert geomeans[(prefetcher, "psa")]["ALL"] > 0.0, \
+            f"{prefetcher}-PSA should improve geomean"
+    # PSA-SD is the best (or tied-best) variant for every prefetcher.
+    for prefetcher in PREFETCHERS:
+        sd = geomeans[(prefetcher, "psa-sd")]["ALL"]
+        for variant in ("psa", "psa-2mb"):
+            assert sd >= geomeans[(prefetcher, variant)]["ALL"] - 1.0
+    # BOP: all three variants identical (no page-indexed structure).
+    bop = [geomeans[("bop", v)]["ALL"] for v in VARIANTS]
+    assert bop[0] == pytest.approx(bop[1], abs=0.2)
+    assert bop[0] == pytest.approx(bop[2], abs=0.6)

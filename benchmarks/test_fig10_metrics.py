@@ -1,0 +1,75 @@
+"""Figure 10 — sources of the PSA/PSA-SD gains: timeliness, miss
+coverage, and accuracy deltas vs original SPP.
+
+The paper's point: the gains have no single root — some workloads win on
+timeliness, others on coverage, others on accuracy.  We reproduce the
+per-workload metric deltas for a representative set plus the mean.
+
+Metric substitution (EXPERIMENTS.md): the paper plots average L2C/LLC
+access-latency reduction; in our merge-based timing model summed access
+latencies double-count overlapped waits, so the primary timeliness metric
+here is the reduction in ROB stall cycles per access ("stall_red"), with
+the raw per-level latency deltas reported alongside.
+"""
+
+from bench_common import representative_workloads, save_result
+
+from repro.analysis.report import format_table
+from repro.sim.runner import pair_metrics
+
+
+def metric_deltas(workload, variant):
+    target, base = pair_metrics(workload, "spp", variant)
+    def latency_reduction(t, b):
+        return (b - t) / b * 100 if b else 0.0
+    return {
+        "stall_red": latency_reduction(target.stalls_per_access,
+                                       base.stalls_per_access),
+        "l2_latency_red": latency_reduction(target.l2_avg_latency,
+                                            base.l2_avg_latency),
+        "llc_latency_red": latency_reduction(target.llc_avg_latency,
+                                             base.llc_avg_latency),
+        "l2_coverage": (target.l2_coverage - base.l2_coverage) * 100,
+        "llc_coverage": (target.llc_coverage - base.llc_coverage) * 100,
+        "l2_accuracy": (target.l2_accuracy - base.l2_accuracy) * 100,
+        "llc_accuracy": (target.llc_accuracy - base.llc_accuracy) * 100,
+        "speedup": (target.speedup_over(base) - 1) * 100,
+    }
+
+
+KEYS = ["speedup", "stall_red", "l2_latency_red", "llc_latency_red",
+        "l2_coverage", "llc_coverage", "l2_accuracy", "llc_accuracy"]
+
+
+def collect():
+    result = {}
+    for variant in ("psa", "psa-sd"):
+        rows = []
+        totals = {k: 0.0 for k in KEYS}
+        workloads = representative_workloads()
+        for workload in workloads:
+            deltas = metric_deltas(workload, variant)
+            rows.append([workload] + [deltas[k] for k in KEYS])
+            for k in KEYS:
+                totals[k] += deltas[k]
+        rows.append(["Mean"] + [totals[k] / len(workloads) for k in KEYS])
+        result[variant] = rows
+    return result
+
+
+def test_fig10_metrics(benchmark):
+    result = benchmark.pedantic(collect, rounds=1, iterations=1)
+    blocks = []
+    for variant, rows in result.items():
+        blocks.append(format_table(
+            ["workload"] + KEYS, rows,
+            title=f"Fig. 10 — SPP-{variant.upper()} deltas vs original SPP (%)"))
+    save_result("fig10_metrics", "\n\n".join(blocks))
+    for variant, rows in result.items():
+        mean = dict(zip(["workload"] + KEYS, rows[-1]))
+        # Headline directions: positive mean speedup, and the stall-cycle
+        # reduction (our timeliness measure, see module docstring) or a
+        # coverage/accuracy source improves on mean.
+        assert mean["speedup"] > 0.0
+        assert (mean["stall_red"] > 0.0 or mean["l2_coverage"] > 0.0
+                or mean["l2_accuracy"] > 0.0)

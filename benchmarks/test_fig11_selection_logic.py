@@ -1,0 +1,68 @@
+"""Figure 11 — selection-logic ablation for the PSA-SD composites.
+
+Compares, per prefetcher (BOP excluded — its SD degenerates):
+
+- SD-Standard : classic Set Dueling, train only the selected prefetcher;
+- SD-Page-Size: statically select by the access's page-size bit;
+- SD-Proposed : the paper's design — train both on all accesses;
+- ISO-Storage : the *original* prefetcher with doubled table budget, to
+  show the SD gains are not a storage artifact.
+
+Paper result: SD-Proposed wins; SD-Standard suffers from insufficient
+training; SD-Page-Size is good but blind to 4KB-grain patterns inside
+2MB pages; ISO storage barely moves the original.
+"""
+
+from bench_common import representative_workloads, table
+
+from repro.analysis.stats import geomean_speedup_percent
+from repro.sim.config import DuelingConfig
+from repro.sim.runner import run, speedup
+
+PREFETCHERS = ["spp", "vldp", "ppf"]
+POLICY_LABELS = [("standard", "SD-Standard"), ("page-size", "SD-Page-Size"),
+                 ("proposed", "SD-Proposed")]
+
+
+def collect_rows():
+    workloads = representative_workloads()
+    rows = []
+    geomeans = {}
+    for prefetcher in PREFETCHERS:
+        row = [prefetcher.upper()]
+        for policy, _ in POLICY_LABELS:
+            dueling = DuelingConfig(policy=policy)
+            values = [speedup(w, prefetcher, "psa-sd", dueling=dueling)
+                      for w in workloads]
+            pct = geomean_speedup_percent(values)
+            geomeans[(prefetcher, policy)] = pct
+            row.append(pct)
+        # ISO storage: original prefetcher with 2x tables vs original 1x.
+        iso = []
+        for workload in workloads:
+            doubled = run(workload, prefetcher, "original", table_scale=2.0)
+            base = run(workload, prefetcher, "original")
+            iso.append(doubled.speedup_over(base))
+        pct = geomean_speedup_percent(iso)
+        geomeans[(prefetcher, "iso")] = pct
+        row.append(pct)
+        rows.append(row)
+    return rows, geomeans
+
+
+def test_fig11_selection_logic(benchmark):
+    rows, geomeans = benchmark.pedantic(collect_rows, rounds=1, iterations=1)
+    table("fig11_selection_logic",
+          "Fig. 11 — geomean speedup (%) over original, selection ablation",
+          ["prefetcher", "SD-Standard", "SD-Page-Size", "SD-Proposed",
+           "ISO-Storage"], rows)
+    for prefetcher in PREFETCHERS:
+        proposed = geomeans[(prefetcher, "proposed")]
+        # SD-Proposed is the best selection policy.  Deviation note
+        # (EXPERIMENTS.md): our synthetic patterns are learnable even from
+        # sparse training, so SD-Standard's insufficient-training penalty
+        # is muted relative to the paper — hence the 1.5pp tolerance.
+        assert proposed >= geomeans[(prefetcher, "standard")] - 1.5
+        assert proposed >= geomeans[(prefetcher, "page-size")] - 1.5
+        # Doubling storage of the original does far less than SD-Proposed.
+        assert proposed > geomeans[(prefetcher, "iso")] + 0.5

@@ -1,0 +1,75 @@
+"""Figure 12 — constrained evaluation: PSA / PSA-SD geomean speedups over
+the original prefetchers while sweeping
+
+  (A) L2C MSHR entries  {8, 16, 32, 64, 128},
+  (B) LLC capacity      {256KB, 512KB, 1MB, 2MB},
+  (C) DRAM rate         {400, 800, 1600, 3200, 6400} MT/s.
+
+Paper takeaway: the gains persist across the sweep.  Known deviation
+(EXPERIMENTS.md): at the 8-entry MSHR point our MLP-bound core model
+compresses the gain to ~0 where the paper keeps +4.6%.
+
+Uses SPP (the paper's reference prefetcher) on the representative subset;
+extend PREFETCHERS below for the full four-prefetcher sweep.
+"""
+
+from bench_common import representative_workloads, save_result
+
+from repro.analysis.report import format_series
+from repro.analysis.stats import geomean_speedup_percent
+from repro.sim.config import SystemConfig
+from repro.sim.runner import speedup
+
+MSHR_SIZES = [8, 16, 32, 64, 128]
+LLC_SIZES = [256 << 10, 512 << 10, 1 << 20, 2 << 20]
+DRAM_RATES = [400, 800, 1600, 3200, 6400]
+PREFETCHER = "spp"
+
+
+def geomean_for(config, variant):
+    values = [speedup(w, PREFETCHER, variant, config=config)
+              for w in representative_workloads()]
+    return geomean_speedup_percent(values)
+
+
+def collect():
+    sweeps = {}
+    sweeps["mshr"] = {
+        variant: [geomean_for(SystemConfig().scaled_l2c_mshr(m), variant)
+                  for m in MSHR_SIZES]
+        for variant in ("psa", "psa-sd")}
+    sweeps["llc"] = {
+        variant: [geomean_for(SystemConfig().scaled_llc(size), variant)
+                  for size in LLC_SIZES]
+        for variant in ("psa", "psa-sd")}
+    sweeps["dram"] = {
+        variant: [geomean_for(SystemConfig().scaled_dram(rate), variant)
+                  for rate in DRAM_RATES]
+        for variant in ("psa", "psa-sd")}
+    return sweeps
+
+
+def test_fig12_constrained(benchmark):
+    sweeps = benchmark.pedantic(collect, rounds=1, iterations=1)
+    blocks = []
+    for variant in ("psa", "psa-sd"):
+        blocks.append(format_series(
+            f"Fig. 12A — SPP-{variant.upper()} vs L2C MSHR entries",
+            MSHR_SIZES, sweeps["mshr"][variant],
+            x_label="mshr", y_label="geomean speedup %"))
+        blocks.append(format_series(
+            f"Fig. 12B — SPP-{variant.upper()} vs LLC size",
+            [f"{s >> 10}KB" for s in LLC_SIZES], sweeps["llc"][variant],
+            x_label="llc", y_label="geomean speedup %"))
+        blocks.append(format_series(
+            f"Fig. 12C — SPP-{variant.upper()} vs DRAM rate",
+            DRAM_RATES, sweeps["dram"][variant],
+            x_label="MT/s", y_label="geomean speedup %"))
+    save_result("fig12_constrained", "\n\n".join(blocks))
+    for variant in ("psa", "psa-sd"):
+        # Gains persist for every LLC size and for MSHR >= 16.
+        assert all(v > 0.0 for v in sweeps["llc"][variant])
+        assert all(v > 0.0 for v in sweeps["mshr"][variant][1:])
+        # Bandwidth sweep: positive at 1600+ MT/s; no large harm at 400.
+        assert all(v > 0.0 for v in sweeps["dram"][variant][2:])
+        assert sweeps["dram"][variant][0] > -3.0

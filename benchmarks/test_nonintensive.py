@@ -1,0 +1,43 @@
+"""Section VI-B1 (text) — non-intensive workloads are not harmed.
+
+The paper temporarily augments the workload set with all SPEC workloads
+regardless of MPKI and shows the proposals never hurt the cache-resident
+ones.  We run the catalog's non-intensive extension under every variant.
+"""
+
+from bench_common import table
+
+from repro.analysis.stats import geomean_speedup_percent
+from repro.sim.runner import speedup
+from repro.workloads.suites import catalog
+
+VARIANTS = ["psa", "psa-2mb", "psa-sd"]
+
+
+def collect_rows():
+    names = [name for name, spec in
+             catalog(include_non_intensive=True).items()
+             if not spec.intensive]
+    rows = []
+    per_variant = {v: [] for v in VARIANTS}
+    for workload in names:
+        row = [workload]
+        for variant in VARIANTS:
+            value = speedup(workload, "spp", variant)
+            per_variant[variant].append(value)
+            row.append((value - 1) * 100)
+        rows.append(row)
+    rows.append(["GeoMean"] + [geomean_speedup_percent(per_variant[v])
+                               for v in VARIANTS])
+    return rows
+
+
+def test_nonintensive_no_harm(benchmark):
+    rows = benchmark.pedantic(collect_rows, rounds=1, iterations=1)
+    table("nonintensive_no_harm",
+          "§VI-B1 — non-intensive workloads: speedup (%) over original SPP",
+          ["workload"] + [f"SPP-{v.upper()}" for v in VARIANTS], rows)
+    geomean_row = rows[-1]
+    # None of the variants harms the non-intensive geomean materially.
+    for value in geomean_row[1:]:
+        assert value > -1.0

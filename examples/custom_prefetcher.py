@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Bring your own prefetcher: PPM/PSA/SD wrap *any* spatial prefetcher.
+
+Run:
+    python examples/custom_prefetcher.py
+
+The paper's central compatibility claim is that PPM and the composite
+Set-Dueling scheme require **no modification to the underlying
+prefetcher**.  This example demonstrates it by writing a new prefetcher
+(a simple sandwich: stride detector + next-line fallback) against the
+``L2Prefetcher`` interface and running it, unmodified, as original / PSA
+/ PSA-SD — the page-size policies live entirely outside the prefetcher.
+"""
+
+import os
+
+from repro import SystemConfig, simulate_trace
+from repro.analysis.report import format_table
+from repro.core.composite import CompositePSAPrefetcher
+from repro.core.psa import PSAPrefetchModule
+from repro.cpu.core import Core
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.prefetch.base import L2Prefetcher, PrefetchContext
+from repro.prefetch.tables import BoundedTable
+from repro.sim.metrics import collect_metrics
+from repro.vm.allocator import PhysicalMemoryAllocator
+from repro.workloads.suites import catalog
+
+
+class StrideSandwichPrefetcher(L2Prefetcher):
+    """Per-region stride detector with a next-line fallback.
+
+    Nothing page-size-aware in here: candidate generation happens through
+    ``ctx.emit`` and the PSA machinery decides what is legal.
+    """
+
+    name = "stride-sandwich"
+    DEGREE = 3
+
+    def __init__(self, region_bits: int = 12, table_scale: float = 1.0):
+        super().__init__(region_bits, table_scale)
+        # region -> [last offset, last stride, confidence]
+        self.table: BoundedTable[list] = BoundedTable(
+            max(1, int(128 * table_scale)))
+
+    def on_access(self, ctx: PrefetchContext) -> None:
+        region = self.region_of(ctx.block)
+        offset = self.offset_of(ctx.block)
+        entry = self.table.get(region)
+        if entry is None:
+            self.table.put(region, [offset, 0, 0])
+            ctx.emit(ctx.block + 1)          # next-line on first touch
+            return
+        stride = offset - entry[0]
+        if stride and stride == entry[1]:
+            entry[2] = min(entry[2] + 1, 3)
+        elif stride:
+            entry[1] = stride
+            entry[2] = 0
+        entry[0] = offset
+        if entry[2] >= 2:
+            for k in range(1, self.DEGREE + 1):
+                if not ctx.emit(ctx.block + entry[1] * k):
+                    break
+        else:
+            ctx.emit(ctx.block + 1)
+
+
+def run_with_module(trace, module):
+    config = SystemConfig()
+    allocator = PhysicalMemoryAllocator(trace.thp_fraction, seed=1)
+    hierarchy = MemoryHierarchy(config, allocator, l2_module=module)
+    core = Core(hierarchy, config.rob_entries, config.fetch_width)
+    result = core.run(trace, warmup_records=len(trace.records) // 2)
+    return collect_metrics(trace.name, "stride-sandwich", module.name
+                           if hasattr(module, "name") else "?",
+                           hierarchy, result, module)
+
+
+def main() -> None:
+    config = SystemConfig()
+    trace = catalog()["lbm"].generate(
+        int(os.environ.get("REPRO_EXAMPLE_ACCESSES", 16_000)))
+    modules = {
+        "original": PSAPrefetchModule(StrideSandwichPrefetcher(),
+                                      mode="original"),
+        "psa": PSAPrefetchModule(StrideSandwichPrefetcher(), mode="psa"),
+        "psa-sd": CompositePSAPrefetcher(
+            lambda rb: StrideSandwichPrefetcher(region_bits=rb),
+            config.l2c.sets),
+    }
+    results = {label: run_with_module(trace, module)
+               for label, module in modules.items()}
+    baseline = results["original"]
+    rows = [[label, metrics.ipc, metrics.l2_coverage * 100,
+             (metrics.ipc / baseline.ipc - 1) * 100]
+            for label, metrics in results.items()]
+    print(format_table(
+        ["policy", "IPC", "L2 coverage %", "vs original %"], rows,
+        title="custom prefetcher under the page-size policies (lbm)"))
+    print("\nThe same StrideSandwichPrefetcher code ran in all three "
+          "configurations —\nonly the wrapper changed, which is the "
+          "paper's PPM compatibility claim.")
+
+
+if __name__ == "__main__":
+    main()

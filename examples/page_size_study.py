@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Page-size study: the paper's motivation (Figs. 3-5) in miniature.
+
+Run:
+    python examples/page_size_study.py
+
+For three contrasting workloads this example shows:
+
+1. how much of each workload's memory the THP policy backs with 2MB
+   pages over time (Fig. 3),
+2. how much performance the page-size information unlocks for SPP
+   (SPP vs SPP-PSA, Fig. 4),
+3. when integrating 2MB pages into SPP's *indexing* helps or hurts
+   (SPP-PSA-2MB, Fig. 5).
+"""
+
+import os
+
+from repro import simulate_workload
+from repro.analysis.report import format_table, sparkline
+from repro.vm.allocator import PhysicalMemoryAllocator
+from repro.workloads.suites import catalog
+
+WORKLOADS = ["lbm", "milc", "soplex"]
+N = int(os.environ.get("REPRO_EXAMPLE_ACCESSES", 20_000))
+
+
+def thp_curve(workload: str):
+    spec = catalog()[workload]
+    trace = spec.generate(N)
+    allocator = PhysicalMemoryAllocator(spec.thp_fraction,
+                                        seed=hash(workload) & 0xFFFF)
+    step = max(1, len(trace.records) // 20)
+    for index, record in enumerate(trace.records):
+        allocator.translate(record[1])
+        if index % step == step - 1:
+            allocator.sample_usage(index + 1)
+    return [f for _, f in allocator.usage_samples]
+
+
+def main() -> None:
+    print("1) THP usage over execution (Fig. 3 in miniature)")
+    print("-" * 52)
+    for workload in WORKLOADS:
+        curve = thp_curve(workload)
+        print(f"  {workload:>8s}: final {curve[-1] * 100:5.1f}%  "
+              f"[{sparkline(curve, width=30)}]")
+
+    print("\n2) What the page-size information is worth (Figs. 4/5)")
+    print("-" * 52)
+    rows = []
+    for workload in WORKLOADS:
+        base = simulate_workload(workload, variant="none", n_accesses=N)
+        values = [workload]
+        for variant in ("original", "psa", "psa-2mb", "psa-sd"):
+            metrics = simulate_workload(workload, variant=variant,
+                                        n_accesses=N)
+            values.append((metrics.ipc / base.ipc - 1) * 100)
+        rows.append(values)
+    print(format_table(
+        ["workload", "SPP %", "SPP-PSA %", "SPP-PSA-2MB %", "SPP-PSA-SD %"],
+        rows, title="speedup over no prefetching"))
+
+    print("\nReading the table:")
+    print(" - lbm (streaming, THP-heavy): PSA crosses 4KB boundaries "
+          "inside 2MB pages -> clear gain over SPP.")
+    print(" - milc (page-sized strides): only 2MB-indexed tables can "
+          "learn the pattern -> PSA-2MB wins big; SD follows it.")
+    print(" - soplex (4KB-backed): no opportunity -> all variants tie.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload under SPP variants and print metrics.
+
+Run:
+    python examples/quickstart.py [workload] [n_accesses]
+
+Simulates the chosen workload (default: lbm, a THP-heavy streaming
+benchmark) with no prefetching, original SPP, SPP-PSA (the paper's PPM
+consumer) and SPP-PSA-SD (the Set-Dueling composite), then prints the
+headline metrics side by side.
+"""
+
+import sys
+
+from repro import simulate_workload
+from repro.analysis.report import format_table
+
+VARIANTS = ["none", "original", "psa", "psa-2mb", "psa-sd"]
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "lbm"
+    n_accesses = int(sys.argv[2]) if len(sys.argv) > 2 else 20_000
+
+    print(f"Simulating {workload!r} ({n_accesses} memory accesses, "
+          f"half used for warmup)...\n")
+    results = {}
+    for variant in VARIANTS:
+        results[variant] = simulate_workload(
+            workload, prefetcher="spp", variant=variant,
+            n_accesses=n_accesses)
+
+    baseline = results["original"]
+    rows = []
+    for variant, metrics in results.items():
+        speedup = ((metrics.ipc / baseline.ipc - 1) * 100
+                   if baseline.ipc else 0.0)
+        rows.append([
+            f"spp-{variant}",
+            metrics.ipc,
+            metrics.l2_mpki,
+            metrics.l2_coverage * 100,
+            metrics.l2_accuracy * 100,
+            speedup,
+        ])
+    print(format_table(
+        ["config", "IPC", "L2 MPKI", "L2 coverage %", "L2 accuracy %",
+         "vs SPP %"],
+        rows, title=f"{workload}: SPP variants"))
+
+    psa = results["psa"]
+    print(f"\nTHP usage: {psa.thp_usage * 100:.1f}% of allocated memory "
+          f"in 2MB pages")
+    orig = results["original"]
+    print(f"Missed opportunity (original SPP): "
+          f"{orig.boundary.discarded_cross_4k_in_2m} prefetches discarded "
+          f"at 4KB boundaries while inside 2MB pages "
+          f"({orig.boundary.discard_probability_in_2m() * 100:.1f}% of "
+          f"proposals)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy setup shim: enables editable installs offline (no wheel pkg)."""
+from setuptools import setup
+
+setup()

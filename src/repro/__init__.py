@@ -1,0 +1,74 @@
+"""repro — reproduction of *Page Size Aware Cache Prefetching* (MICRO 2022).
+
+Public API
+----------
+The package implements, from scratch, a ChampSim-like Python memory-system
+simulator plus the paper's contributions:
+
+- :class:`repro.core.ppm.PageSizePropagationModule` — PPM, the 1-bit-per-
+  L1D-MSHR-entry page-size propagation scheme;
+- :class:`repro.core.psa.PSAPrefetchModule` — Pref-PSA / original windows
+  around any spatial L2C prefetcher;
+- :class:`repro.core.composite.CompositePSAPrefetcher` — Pref-PSA-SD, the
+  Set-Dueling composite of Pref-PSA and Pref-PSA-2MB;
+- prefetchers SPP, VLDP, PPF, BOP (L2C) and IPCP/IPCP++ (L1D);
+- the full substrate: caches+MSHRs, DRAM, TLBs, page table/walker with MMU
+  caches, THP allocator, an ROB-bounded OOO core model, the 80-workload
+  synthetic catalog, and single-/multi-core drivers.
+
+Quick start::
+
+    from repro import simulate_workload, speedup
+
+    metrics = simulate_workload("lbm", prefetcher="spp", variant="psa")
+    print(metrics.ipc, metrics.l2_coverage)
+
+    gain = speedup("lbm", "spp", "psa")   # vs original SPP
+    print(f"SPP-PSA speedup on lbm: {(gain - 1) * 100:.1f}%")
+"""
+
+from repro.core.composite import CompositePSAPrefetcher
+from repro.core.factory import PREFETCHERS, VARIANTS, make_l2_module
+from repro.core.ppm import PageSizePropagationModule
+from repro.core.psa import L2PrefetchModule, PSAPrefetchModule
+from repro.core.set_dueling import SetDuelingSelector
+from repro.sim.config import DuelingConfig, SystemConfig
+from repro.sim.metrics import RunMetrics
+from repro.sim.multicore import (
+    generate_mixes,
+    mix_weighted_speedup,
+    multicore_config,
+    simulate_mix,
+)
+from repro.sim.runner import run, speedup, speedups_over_baseline, variant_sweep
+from repro.sim.simulator import simulate_trace, simulate_workload
+from repro.workloads.suites import MOTIVATION_WORKLOADS, WorkloadSpec, catalog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompositePSAPrefetcher",
+    "DuelingConfig",
+    "L2PrefetchModule",
+    "MOTIVATION_WORKLOADS",
+    "PageSizePropagationModule",
+    "PREFETCHERS",
+    "PSAPrefetchModule",
+    "RunMetrics",
+    "SetDuelingSelector",
+    "SystemConfig",
+    "VARIANTS",
+    "WorkloadSpec",
+    "catalog",
+    "generate_mixes",
+    "make_l2_module",
+    "mix_weighted_speedup",
+    "multicore_config",
+    "run",
+    "simulate_mix",
+    "simulate_trace",
+    "simulate_workload",
+    "speedup",
+    "speedups_over_baseline",
+    "variant_sweep",
+]

@@ -1,0 +1,75 @@
+"""Plain-text rendering of the paper's tables and figure data.
+
+Every benchmark prints its regenerated rows/series through these helpers so
+``pytest benchmarks/ --benchmark-only -s`` output reads like the paper's
+artifacts: one table per figure, labelled with the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Monospace table with right-aligned numeric columns."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(f"{cell:.3f}")
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        cells = []
+        for i, cell in enumerate(row):
+            if i == 0:
+                cells.append(cell.ljust(widths[i]))
+            else:
+                cells.append(cell.rjust(widths[i]))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_speedup_rows(speedups: Dict[str, float],
+                        percent: bool = True) -> List[List]:
+    """Rows of (workload, speedup[%]) sorted by workload name."""
+    rows = []
+    for name in sorted(speedups):
+        value = speedups[name]
+        rows.append([name, (value - 1.0) * 100.0 if percent else value])
+    return rows
+
+
+def format_series(title: str, xs: Sequence, ys: Sequence[float],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """A labelled two-column series (for sweep figures)."""
+    return format_table([x_label, y_label], list(zip(xs, ys)), title=title)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Tiny ASCII trend line for curves (Fig. 3 usage-over-time)."""
+    if not values:
+        return ""
+    glyphs = " .:-=+*#%@"
+    lo, hi = min(values), max(values)
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    if hi == lo:
+        return "=" * len(values)   # flat series: render at mid level
+    span = hi - lo
+    return "".join(glyphs[min(int((v - lo) / span * (len(glyphs) - 1)),
+                              len(glyphs) - 1)] for v in values)

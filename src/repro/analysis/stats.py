@@ -1,0 +1,97 @@
+"""Statistics helpers used across the evaluation.
+
+Geomean speedups (the paper's headline aggregation), distribution
+summaries for the violin/box figures (Figs. 2, 14, 15), and weighted-mean
+helpers for the per-application SimPoint aggregation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; raises on empty input or non-positive entries."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def geomean_speedup_percent(speedups: Iterable[float]) -> float:
+    """Geometric-mean speedup expressed in percent (paper convention)."""
+    return (geomean(speedups) - 1.0) * 100.0
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    if len(values) != len(weights):
+        raise ValueError("values and weights differ in length")
+    total = sum(weights)
+    if not total:
+        raise ValueError("weights sum to zero")
+    return sum(v * w for v, w in zip(values, weights)) / total
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile on an already sorted sequence."""
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    position = fraction * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    weight = position - lower
+    return sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight
+
+
+@dataclass
+class DistributionSummary:
+    """Five-number summary plus mean — the data behind violin/box plots."""
+
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+    mean: float
+    count: int
+
+    @classmethod
+    def of(cls, values: Iterable[float]) -> "DistributionSummary":
+        ordered = sorted(values)
+        if not ordered:
+            raise ValueError("summary of empty sequence")
+        return cls(
+            minimum=ordered[0],
+            p25=percentile(ordered, 0.25),
+            median=percentile(ordered, 0.50),
+            p75=percentile(ordered, 0.75),
+            maximum=ordered[-1],
+            mean=sum(ordered) / len(ordered),
+            count=len(ordered),
+        )
+
+    def row(self) -> str:
+        return (f"min={self.minimum:6.3f}  p25={self.p25:6.3f}  "
+                f"med={self.median:6.3f}  p75={self.p75:6.3f}  "
+                f"max={self.maximum:6.3f}  mean={self.mean:6.3f}  "
+                f"n={self.count}")
+
+
+def per_suite_geomeans(speedups: Dict[str, float],
+                       suite_of: Dict[str, str],
+                       groups: Dict[str, List[str]]) -> Dict[str, float]:
+    """Geomean speedup (%) per suite group plus 'ALL' (Fig. 9 layout)."""
+    result: Dict[str, float] = {}
+    for group, suites in groups.items():
+        members = [s for w, s in speedups.items()
+                   if suite_of.get(w) in suites]
+        if members:
+            result[group] = geomean_speedup_percent(members)
+    result["ALL"] = geomean_speedup_percent(list(speedups.values()))
+    return result

@@ -1,0 +1,254 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``run``      : simulate one workload under one configuration and print
+  its metrics (optionally the speedup over a baseline variant).
+- ``compare``  : run several variants side by side on one workload.
+- ``catalog``  : list the workload catalog (name, suite, generator, THP).
+- ``config``   : print the Table-I system configuration.
+- ``trace``    : generate a catalog workload's trace to a file, or
+  describe an existing trace file.
+- ``report``   : concatenate the archived figure outputs under
+  ``benchmarks/results/`` into one reproduction report.
+
+Examples::
+
+    python -m repro run --workload lbm --prefetcher spp --variant psa
+    python -m repro compare --workload milc --variants original,psa,psa-2mb
+    python -m repro catalog --suite GAP
+    python -m repro trace --workload lbm --out lbm.trace.gz --accesses 50000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_table
+from repro.core.factory import PREFETCHERS, VARIANTS
+from repro.sim.config import SCALE_ACCESSES, SystemConfig
+from repro.sim.metrics import RunMetrics
+from repro.sim.simulator import L1D_PREFETCHERS, simulate_trace, simulate_workload
+from repro.workloads.io import load_trace, save_trace
+from repro.workloads.suites import catalog
+
+
+def _metrics_rows(metrics: RunMetrics) -> List[List]:
+    return [
+        ["IPC", metrics.ipc],
+        ["instructions", metrics.instructions],
+        ["memory accesses", metrics.memory_accesses],
+        ["L1D MPKI", metrics.l1d_mpki],
+        ["L2C MPKI", metrics.l2_mpki],
+        ["L2C coverage %", metrics.l2_coverage * 100],
+        ["L2C accuracy %", metrics.l2_accuracy * 100],
+        ["LLC MPKI", metrics.llc_mpki],
+        ["prefetches issued", metrics.pf_issued_total],
+        ["stall cycles / access", metrics.stalls_per_access],
+        ["avg load latency", metrics.avg_load_latency],
+        ["STLB miss %", metrics.stlb_miss_ratio * 100],
+        ["page walks", metrics.page_walks],
+        ["DRAM row-hit %", metrics.dram_row_hit_ratio * 100],
+        ["THP usage %", metrics.thp_usage * 100],
+        ["discarded @4KB in 2MB", metrics.boundary.discarded_cross_4k_in_2m],
+    ]
+
+
+def _add_sim_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--prefetcher", default="spp",
+                        choices=sorted(PREFETCHERS))
+    parser.add_argument("--l1d", default="none", choices=L1D_PREFETCHERS)
+    parser.add_argument("--accesses", type=int, default=None,
+                        help=f"memory accesses to simulate "
+                             f"(default: REPRO_SCALE, small="
+                             f"{SCALE_ACCESSES['small']})")
+    parser.add_argument("--gb-fraction", type=float, default=0.0,
+                        help="fraction of memory backed by 1GB pages")
+    parser.add_argument("--no-ppm", action="store_true",
+                        help="disable the page-size propagation module")
+    parser.add_argument("--tlb-prefetch", action="store_true",
+                        help="enable the footnote-3 TLB prefetcher")
+
+
+def _config_from(args) -> SystemConfig:
+    config = SystemConfig()
+    if getattr(args, "no_ppm", False):
+        config.ppm_enabled = False
+    if getattr(args, "tlb_prefetch", False):
+        config.tlb_prefetch = True
+    return config
+
+
+def cmd_run(args) -> int:
+    config = _config_from(args)
+    metrics = simulate_workload(
+        args.workload, config=config, prefetcher=args.prefetcher,
+        variant=args.variant, l1d=args.l1d, n_accesses=args.accesses,
+        gb_fraction=args.gb_fraction)
+    title = f"{args.workload}: {args.prefetcher}-{args.variant}"
+    print(format_table(["metric", "value"], _metrics_rows(metrics),
+                       title=title))
+    if args.baseline:
+        base = simulate_workload(
+            args.workload, config=config, prefetcher=args.prefetcher,
+            variant=args.baseline, l1d=args.l1d, n_accesses=args.accesses,
+            gb_fraction=args.gb_fraction)
+        gain = (metrics.speedup_over(base) - 1) * 100
+        print(f"\nspeedup over {args.prefetcher}-{args.baseline}: "
+              f"{gain:+.2f}%")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    config = _config_from(args)
+    variants = [v.strip() for v in args.variants.split(",") if v.strip()]
+    for variant in variants:
+        if variant not in VARIANTS:
+            print(f"error: unknown variant {variant!r} "
+                  f"(choose from {VARIANTS})", file=sys.stderr)
+            return 2
+    results = {variant: simulate_workload(
+        args.workload, config=config, prefetcher=args.prefetcher,
+        variant=variant, l1d=args.l1d, n_accesses=args.accesses,
+        gb_fraction=args.gb_fraction) for variant in variants}
+    baseline = results[variants[0]]
+    rows = []
+    for variant, metrics in results.items():
+        rows.append([f"{args.prefetcher}-{variant}", metrics.ipc,
+                     metrics.l2_mpki, metrics.l2_coverage * 100,
+                     (metrics.speedup_over(baseline) - 1) * 100])
+    print(format_table(
+        ["config", "IPC", "L2 MPKI", "L2 coverage %",
+         f"vs {variants[0]} %"],
+        rows, title=f"{args.workload}: variant comparison"))
+    return 0
+
+
+def cmd_catalog(args) -> int:
+    specs = catalog(include_non_intensive=args.all).values()
+    if args.suite:
+        specs = [s for s in specs if s.suite == args.suite]
+    rows = [[s.name, s.suite, s.kind, s.thp_fraction,
+             "yes" if s.intensive else "no"] for s in specs]
+    print(format_table(["workload", "suite", "generator", "thp", "intensive"],
+                       rows, title=f"{len(rows)} workloads"))
+    return 0
+
+
+def cmd_config(_args) -> int:
+    print(SystemConfig().describe())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    if args.workload and args.out:
+        spec = catalog(include_non_intensive=True).get(args.workload)
+        if spec is None:
+            print(f"error: unknown workload {args.workload!r}",
+                  file=sys.stderr)
+            return 2
+        trace = spec.generate(args.accesses or SCALE_ACCESSES["small"])
+        save_trace(trace, args.out)
+        print(f"wrote {len(trace)} records to {args.out}")
+        return 0
+    if args.describe:
+        trace = load_trace(args.describe)
+        print(format_table(["field", "value"], [
+            ["name", trace.name],
+            ["suite", trace.suite],
+            ["records", len(trace)],
+            ["instructions", trace.instructions],
+            ["thp fraction", trace.thp_fraction],
+            ["footprint (bytes)", trace.footprint_bytes()],
+        ], title=str(args.describe)))
+        return 0
+    if args.simulate:
+        trace = load_trace(args.simulate)
+        metrics = simulate_trace(trace, prefetcher=args.prefetcher,
+                                 variant=args.variant)
+        print(format_table(["metric", "value"], _metrics_rows(metrics),
+                           title=f"{trace.name} (from file)"))
+        return 0
+    print("error: trace needs --workload/--out, --describe, or --simulate",
+          file=sys.stderr)
+    return 2
+
+
+def cmd_report(args) -> int:
+    from pathlib import Path
+    results_dir = Path(args.results_dir)
+    if not results_dir.is_dir():
+        print(f"error: no results directory at {results_dir} — run "
+              f"'pytest benchmarks/ --benchmark-only' first",
+              file=sys.stderr)
+        return 2
+    files = sorted(results_dir.glob("*.txt"))
+    if not files:
+        print(f"error: {results_dir} holds no figure outputs",
+              file=sys.stderr)
+        return 2
+    sections = [path.read_text().rstrip() for path in files]
+    banner = ("Page Size Aware Cache Prefetching — regenerated evaluation\n"
+              f"({len(files)} artifacts from {results_dir})\n")
+    print(banner)
+    print(("\n\n" + "-" * 72 + "\n\n").join(sections))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Page Size Aware Cache Prefetching — reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one workload")
+    p_run.add_argument("--workload", required=True)
+    p_run.add_argument("--variant", default="psa", choices=VARIANTS)
+    p_run.add_argument("--baseline", default="original",
+                       help="variant to compute the speedup against "
+                            "('' to skip)")
+    _add_sim_arguments(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare variants on a workload")
+    p_cmp.add_argument("--workload", required=True)
+    p_cmp.add_argument("--variants", default="original,psa,psa-2mb,psa-sd")
+    _add_sim_arguments(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_cat = sub.add_parser("catalog", help="list the workload catalog")
+    p_cat.add_argument("--suite", default=None)
+    p_cat.add_argument("--all", action="store_true",
+                       help="include the non-intensive extension")
+    p_cat.set_defaults(func=cmd_catalog)
+
+    p_cfg = sub.add_parser("config", help="print the Table-I configuration")
+    p_cfg.set_defaults(func=cmd_config)
+
+    p_trace = sub.add_parser("trace", help="generate/describe trace files")
+    p_trace.add_argument("--workload", default=None)
+    p_trace.add_argument("--out", default=None)
+    p_trace.add_argument("--describe", default=None)
+    p_trace.add_argument("--simulate", default=None)
+    p_trace.add_argument("--accesses", type=int, default=None)
+    p_trace.add_argument("--prefetcher", default="spp",
+                         choices=sorted(PREFETCHERS))
+    p_trace.add_argument("--variant", default="psa", choices=VARIANTS)
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_rep = sub.add_parser("report", help="print all regenerated figures")
+    p_rep.add_argument("--results-dir", default="benchmarks/results")
+    p_rep.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

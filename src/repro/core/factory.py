@@ -1,0 +1,72 @@
+"""Builders mapping (prefetcher name, variant) to an L2 prefetch module.
+
+Variants follow the paper's taxonomy:
+
+- ``none``     : no L2C prefetching (the speedup baseline of Figs. 4/5/13)
+- ``original`` : the prefetcher as published — 4KB windows always
+- ``psa``      : Pref-PSA — PPM consumer, 4KB-indexed tables, 2MB windows
+  when the page-size bit says so
+- ``psa-2mb``  : Pref-PSA-2MB — same windows, 2MB-indexed tables
+- ``psa-sd``   : Pref-PSA-SD — Set-Dueling composite of the two
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.composite import CompositePSAPrefetcher
+from repro.core.psa import L2PrefetchModule, PSAPrefetchModule
+from repro.prefetch.base import ISSUER_PSA, ISSUER_PSA_2MB
+from repro.prefetch.ampm import AMPM
+from repro.prefetch.bop import BOP, NextLinePrefetcher
+from repro.prefetch.ppf import PPF
+from repro.prefetch.sms import SMS
+from repro.prefetch.spp import SPP
+from repro.prefetch.vldp import VLDP
+from repro.sim.config import DuelingConfig, SystemConfig
+
+#: The paper's four prefetchers plus next-line (Fig. 13's reference) and
+#: two additional spatial prefetchers (SMS, AMPM) that demonstrate the
+#: "works with any spatial prefetcher" claim beyond the evaluated set.
+PREFETCHERS = {
+    "spp": SPP,
+    "vldp": VLDP,
+    "ppf": PPF,
+    "bop": BOP,
+    "next-line": NextLinePrefetcher,
+    "sms": SMS,
+    "ampm": AMPM,
+}
+
+VARIANTS = ("none", "original", "psa", "psa-2mb", "psa-sd")
+
+
+def make_l2_module(prefetcher: str, variant: str, config: SystemConfig,
+                   table_scale: float = 1.0,
+                   dueling: Optional[DuelingConfig] = None) -> L2PrefetchModule:
+    """Build the L2C prefetch module for one (prefetcher, variant) pair."""
+    if variant not in VARIANTS:
+        raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
+    if variant == "none":
+        return L2PrefetchModule()
+    try:
+        cls = PREFETCHERS[prefetcher]
+    except KeyError:
+        raise ValueError(f"unknown prefetcher {prefetcher!r}; "
+                         f"choose from {sorted(PREFETCHERS)}") from None
+    if variant == "original":
+        return PSAPrefetchModule(cls(region_bits=12, table_scale=table_scale),
+                                 mode="original", issuer=ISSUER_PSA)
+    if variant == "psa":
+        return PSAPrefetchModule(cls(region_bits=12, table_scale=table_scale),
+                                 mode="psa", issuer=ISSUER_PSA)
+    if variant == "psa-2mb":
+        return PSAPrefetchModule(cls(region_bits=21, table_scale=table_scale),
+                                 mode="psa", issuer=ISSUER_PSA_2MB)
+    # psa-sd
+    def factory(region_bits: int):
+        return cls(region_bits=region_bits, table_scale=table_scale)
+
+    return CompositePSAPrefetcher(
+        factory, config.l2c.sets,
+        dueling if dueling is not None else config.dueling)

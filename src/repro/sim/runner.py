@@ -1,0 +1,115 @@
+"""Experiment runner: cached simulation plus speedup conveniences.
+
+The benchmarks regenerate many figures from overlapping sets of runs (e.g.
+the SPP-original baseline appears in Figs. 4, 5, 8, 10, 11, 12).  The
+runner memoises finished ``RunMetrics`` by a configuration fingerprint so
+one pytest session never repeats a run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.config import DuelingConfig, SystemConfig, accesses_for_scale
+from repro.sim.metrics import RunMetrics
+from repro.sim.simulator import simulate_workload
+
+_CACHE: Dict[tuple, RunMetrics] = {}
+
+
+def _fingerprint(config: SystemConfig,
+                 dueling: Optional[DuelingConfig]) -> tuple:
+    duel = dueling if dueling is not None else config.dueling
+    return (
+        config.l2c.size_bytes, config.l2c.mshr_entries,
+        config.llc.size_bytes, config.llc.mshr_entries,
+        config.dram.transfer_rate_mts, config.dram.channels,
+        config.ppm_enabled, config.ppm_to_llc,
+        duel.leader_sets, duel.csel_bits, duel.policy,
+    )
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def run(workload: str, prefetcher: str = "spp", variant: str = "psa",
+        config: Optional[SystemConfig] = None, l1d: str = "none",
+        oracle_page_size: bool = False, n_accesses: Optional[int] = None,
+        table_scale: float = 1.0,
+        dueling: Optional[DuelingConfig] = None,
+        use_cache: bool = True) -> RunMetrics:
+    """Simulate one workload under one configuration (memoised)."""
+    config = config if config is not None else SystemConfig()
+    n = n_accesses if n_accesses is not None else accesses_for_scale()
+    key = (workload, prefetcher, variant, l1d, oracle_page_size, n,
+           table_scale, _fingerprint(config, dueling))
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    metrics = simulate_workload(
+        workload, config=config, prefetcher=prefetcher, variant=variant,
+        l1d=l1d, oracle_page_size=oracle_page_size, n_accesses=n,
+        table_scale=table_scale, dueling=dueling)
+    if use_cache:
+        _CACHE[key] = metrics
+    return metrics
+
+
+def speedup(workload: str, prefetcher: str, variant: str,
+            baseline_variant: str = "original",
+            baseline_prefetcher: Optional[str] = None,
+            config: Optional[SystemConfig] = None,
+            n_accesses: Optional[int] = None,
+            **kwargs) -> float:
+    """IPC ratio of (prefetcher, variant) over the baseline variant."""
+    target = run(workload, prefetcher, variant, config=config,
+                 n_accesses=n_accesses, **kwargs)
+    base = run(workload, baseline_prefetcher or prefetcher, baseline_variant,
+               config=config, n_accesses=n_accesses)
+    return target.speedup_over(base)
+
+
+def speedups_over_baseline(workloads: Iterable[str], prefetcher: str,
+                           variant: str, baseline_variant: str = "original",
+                           config: Optional[SystemConfig] = None,
+                           n_accesses: Optional[int] = None,
+                           **kwargs) -> Dict[str, float]:
+    """Per-workload speedups of one variant over the baseline."""
+    return {w: speedup(w, prefetcher, variant, baseline_variant,
+                       config=config, n_accesses=n_accesses, **kwargs)
+            for w in workloads}
+
+
+def variant_sweep(workloads: Iterable[str], prefetcher: str,
+                  variants: Iterable[str],
+                  baseline_variant: str = "original",
+                  config: Optional[SystemConfig] = None,
+                  n_accesses: Optional[int] = None,
+                  **kwargs) -> Dict[str, Dict[str, float]]:
+    """variant -> {workload -> speedup over baseline}."""
+    workloads = list(workloads)
+    return {variant: speedups_over_baseline(
+                workloads, prefetcher, variant, baseline_variant,
+                config=config, n_accesses=n_accesses, **kwargs)
+            for variant in variants}
+
+
+def run_many(workloads: Iterable[str], prefetcher: str, variant: str,
+             config: Optional[SystemConfig] = None,
+             n_accesses: Optional[int] = None,
+             **kwargs) -> List[RunMetrics]:
+    return [run(w, prefetcher, variant, config=config,
+                n_accesses=n_accesses, **kwargs) for w in workloads]
+
+
+def pair_metrics(workload: str, prefetcher: str, variant: str,
+                 baseline_variant: str = "original",
+                 config: Optional[SystemConfig] = None,
+                 n_accesses: Optional[int] = None,
+                 **kwargs) -> Tuple[RunMetrics, RunMetrics]:
+    """(variant run, baseline run) for delta metrics (Fig. 10)."""
+    target = run(workload, prefetcher, variant, config=config,
+                 n_accesses=n_accesses, **kwargs)
+    base = run(workload, prefetcher, baseline_variant, config=config,
+               n_accesses=n_accesses)
+    return target, base

@@ -1,0 +1,101 @@
+"""Single-core simulation driver.
+
+``simulate_workload`` is the repo's main entry point: it assembles the
+allocator, hierarchy, prefetch module, optional L1D prefetcher and core for
+one (workload, configuration) pair, runs the trace with a warmup prefix,
+and returns a ``RunMetrics`` snapshot.
+
+The paper's methodology (Section V) uses half the trace for warmup and
+half for measurement; ``warmup_fraction=0.5`` reproduces that split.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.factory import make_l2_module
+from repro.cpu.core import Core
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.prefetch.ipcp import IPCP
+from repro.sim.config import DuelingConfig, SystemConfig, accesses_for_scale
+from repro.sim.metrics import RunMetrics, collect_metrics
+from repro.workloads.suites import WorkloadSpec, catalog
+from repro.workloads.trace import Trace
+
+L1D_PREFETCHERS = ("none", "ipcp", "ipcp++")
+
+
+def build_hierarchy(trace: Trace, config: SystemConfig, prefetcher: str,
+                    variant: str, l1d: str = "none",
+                    oracle_page_size: bool = False,
+                    table_scale: float = 1.0,
+                    dueling: Optional[DuelingConfig] = None,
+                    core_id: int = 0,
+                    gb_fraction: float = 0.0,
+                    llc_prefetcher: str = "none",
+                    llc_variant: str = "psa",
+                    shared_llc=None, shared_dram=None):
+    """Construct (hierarchy, module) for one run. Exposed for tests."""
+    from repro.vm.allocator import PhysicalMemoryAllocator
+
+    if l1d not in L1D_PREFETCHERS:
+        raise ValueError(f"l1d must be one of {L1D_PREFETCHERS}, got {l1d!r}")
+    allocator = PhysicalMemoryAllocator(
+        thp_fraction=trace.thp_fraction, seed=hash(trace.name) & 0xFFFF,
+        core_id=core_id, gb_fraction=gb_fraction)
+    module = make_l2_module(prefetcher, variant, config,
+                            table_scale=table_scale, dueling=dueling)
+    llc_module = None
+    if llc_prefetcher != "none":
+        llc_module = make_l2_module(llc_prefetcher, llc_variant, config,
+                                    table_scale=table_scale)
+    hierarchy = MemoryHierarchy(
+        config, allocator, l2_module=module, llc_module=llc_module,
+        oracle_page_size=oracle_page_size,
+        shared_llc=shared_llc, shared_dram=shared_dram)
+    if l1d != "none":
+        hierarchy.l1d_prefetcher = IPCP(
+            cross_page=(l1d == "ipcp++"),
+            may_cross=hierarchy.translator.is_tlb_resident)
+    return hierarchy, module
+
+
+def simulate_trace(trace: Trace, config: Optional[SystemConfig] = None,
+                   prefetcher: str = "spp", variant: str = "psa",
+                   l1d: str = "none", oracle_page_size: bool = False,
+                   warmup_fraction: float = 0.5,
+                   table_scale: float = 1.0,
+                   gb_fraction: float = 0.0,
+                   dueling: Optional[DuelingConfig] = None) -> RunMetrics:
+    """Simulate one prepared trace and return its metrics."""
+    config = config if config is not None else SystemConfig()
+    hierarchy, module = build_hierarchy(
+        trace, config, prefetcher, variant, l1d=l1d,
+        oracle_page_size=oracle_page_size, table_scale=table_scale,
+        dueling=dueling, gb_fraction=gb_fraction)
+    core = Core(hierarchy, config.rob_entries, config.fetch_width)
+    warmup = int(len(trace.records) * warmup_fraction)
+    result = core.run(trace, warmup_records=warmup)
+    return collect_metrics(trace.name, prefetcher, variant, hierarchy,
+                           result, module)
+
+
+def simulate_workload(workload: Union[str, WorkloadSpec],
+                      config: Optional[SystemConfig] = None,
+                      prefetcher: str = "spp", variant: str = "psa",
+                      l1d: str = "none", oracle_page_size: bool = False,
+                      n_accesses: Optional[int] = None,
+                      warmup_fraction: float = 0.5,
+                      table_scale: float = 1.0,
+                      gb_fraction: float = 0.0,
+                      dueling: Optional[DuelingConfig] = None) -> RunMetrics:
+    """Generate a catalog workload's trace and simulate it."""
+    spec = (catalog(include_non_intensive=True)[workload]
+            if isinstance(workload, str) else workload)
+    n = n_accesses if n_accesses is not None else accesses_for_scale()
+    trace = spec.generate(n)
+    return simulate_trace(
+        trace, config=config, prefetcher=prefetcher, variant=variant,
+        l1d=l1d, oracle_page_size=oracle_page_size,
+        warmup_fraction=warmup_fraction, table_scale=table_scale,
+        gb_fraction=gb_fraction, dueling=dueling)

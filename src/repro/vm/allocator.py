@@ -1,0 +1,183 @@
+"""Physical memory allocator with transparent-huge-page (THP) policy.
+
+This is the OS-side substrate the paper's mechanism rides on.  Two
+properties matter and are modelled faithfully:
+
+1. **2MB pages are physically contiguous and aligned** — prefetching across
+   a 4KB boundary *inside* a 2MB page lands on the correct data, which is
+   exactly why PPM-enabled prefetching is safe there.
+2. **4KB pages are scattered** — consecutive virtual 4KB pages map to
+   unrelated physical frames, so a prefetch crossing a 4KB physical page
+   boundary would fetch garbage (and is a security hazard); original
+   prefetchers therefore discard such candidates.
+
+The THP decision is made per 2MB-aligned virtual region on first touch,
+using a deterministic hash so traces are reproducible: a region becomes a
+2MB page with probability ``thp_fraction`` (mirroring how heavily a given
+workload ends up backed by THP on a real system — Fig. 3 of the paper).
+
+The allocator also exposes the live fraction of allocated memory mapped to
+2MB pages, the quantity Fig. 3 plots via the ``page-collect`` tool.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.memory.address import (
+    PAGE_1G_BITS,
+    PAGE_1G_SIZE,
+    PAGE_2M_BITS,
+    PAGE_4K_BITS,
+    PAGE_4K_SIZE,
+    PAGE_2M_SIZE,
+    PAGE_SIZE_1G,
+    PAGE_SIZE_2M,
+    PAGE_SIZE_4K,
+)
+
+# Physical frame-number (4KB units) layout; regions are disjoint by
+# construction.  DRAM capacity is not enforced: the model only uses
+# physical addresses for indexing (rows, banks, cache sets), so a sparse
+# layout is harmless and keeps allocation O(1).
+PT_NODE_BASE = 0x0010_0000        # page-table node frames
+POOL_4K_BASE = 0x0100_0000        # scattered 4KB data frames
+POOL_4K_SPAN_BITS = 22            # 4M frames = 16GB of scatter space
+POOL_2M_BASE_FRAMES = 0x0002_0000  # 2MB-frame numbers (above the 4KB pool)
+POOL_1G_BASE_FRAMES = 0x0000_0400  # 1GB-frame numbers (above everything)
+
+#: Odd multiplier => bijective scatter within the 4KB pool (no collisions).
+_SCATTER_MULT = 0x9E3779B1
+
+
+class PhysicalMemoryAllocator:
+    """Demand-paged allocator supporting concurrent 4KB and 2MB pages."""
+
+    def __init__(self, thp_fraction: float = 0.9, seed: int = 0,
+                 core_id: int = 0, gb_fraction: float = 0.0) -> None:
+        """``core_id`` shifts every physical pool so per-process allocators
+        in a multi-core simulation hand out disjoint frames (1TB apart).
+
+        ``gb_fraction`` enables the paper's "Additional Page Sizes"
+        extension: that fraction of 1GB-aligned virtual regions is backed
+        by manually allocated (hugetlbfs-style) 1GB pages.  Linux THP
+        never does this transparently, so the default is 0.
+        """
+        if not 0.0 <= thp_fraction <= 1.0:
+            raise ValueError(f"thp_fraction must be in [0,1], got {thp_fraction}")
+        if not 0.0 <= gb_fraction <= 1.0:
+            raise ValueError(f"gb_fraction must be in [0,1], got {gb_fraction}")
+        self.thp_fraction = thp_fraction
+        self.gb_fraction = gb_fraction
+        self.seed = seed
+        shift_4k_frames = core_id << 28
+        self.pt_node_base = PT_NODE_BASE + shift_4k_frames
+        self._pool_4k_base = POOL_4K_BASE + shift_4k_frames
+        self._pool_2m_base = POOL_2M_BASE_FRAMES + (shift_4k_frames >> 9)
+        self._pool_1g_base = POOL_1G_BASE_FRAMES + (shift_4k_frames >> 18)
+        self._map_4k: Dict[int, int] = {}    # v4k page -> p4k frame
+        self._map_2m: Dict[int, int] = {}    # v2m page -> p2m frame
+        self._map_1g: Dict[int, int] = {}    # v1g page -> p1g frame
+        self._huge_decision: Dict[int, bool] = {}  # v2m page -> is huge
+        self._gb_decision: Dict[int, bool] = {}    # v1g page -> is 1GB
+        self._next_4k = 0
+        self._next_2m = 0
+        self._next_1g = 0
+        # Fig. 3 accounting: (accesses_seen, fraction_2mb) samples.
+        self.usage_samples: List[Tuple[int, float]] = []
+
+    # ------------------------------------------------------------------
+    # THP policy
+    # ------------------------------------------------------------------
+    def _decide_gb(self, v1g: int) -> bool:
+        if not self.gb_fraction:
+            return False
+        decision = self._gb_decision.get(v1g)
+        if decision is None:
+            h = (v1g * 2246822519 + self.seed * 131) & 0xFFFFFFFF
+            decision = (h % 10_000) < int(self.gb_fraction * 10_000)
+            self._gb_decision[v1g] = decision
+        return decision
+
+    def _decide_huge(self, v2m: int) -> bool:
+        decision = self._huge_decision.get(v2m)
+        if decision is None:
+            h = (v2m * 2654435761 + self.seed * 97) & 0xFFFFFFFF
+            decision = (h % 10_000) < int(self.thp_fraction * 10_000)
+            self._huge_decision[v2m] = decision
+        return decision
+
+    # ------------------------------------------------------------------
+    # Translation
+    # ------------------------------------------------------------------
+    def translate(self, vaddr: int) -> Tuple[int, int]:
+        """Map a virtual byte address to (physical byte address, page size).
+
+        Allocates on first touch (demand paging).  Page size is
+        ``PAGE_SIZE_2M`` when the containing 2MB-aligned virtual region was
+        promoted by the THP policy, else ``PAGE_SIZE_4K``.
+        """
+        v1g = vaddr >> PAGE_1G_BITS
+        if self._decide_gb(v1g):
+            frame = self._map_1g.get(v1g)
+            if frame is None:
+                frame = self._pool_1g_base + self._next_1g
+                self._next_1g += 1
+                self._map_1g[v1g] = frame
+            paddr = (frame << PAGE_1G_BITS) | (vaddr & (PAGE_1G_SIZE - 1))
+            return paddr, PAGE_SIZE_1G
+        v2m = vaddr >> PAGE_2M_BITS
+        if self._decide_huge(v2m):
+            frame = self._map_2m.get(v2m)
+            if frame is None:
+                frame = self._pool_2m_base + self._next_2m
+                self._next_2m += 1
+                self._map_2m[v2m] = frame
+            paddr = (frame << PAGE_2M_BITS) | (vaddr & (PAGE_2M_SIZE - 1))
+            return paddr, PAGE_SIZE_2M
+        v4k = vaddr >> PAGE_4K_BITS
+        frame = self._map_4k.get(v4k)
+        if frame is None:
+            span_mask = (1 << POOL_4K_SPAN_BITS) - 1
+            frame = self._pool_4k_base + ((self._next_4k * _SCATTER_MULT) & span_mask)
+            self._next_4k += 1
+            self._map_4k[v4k] = frame
+        paddr = (frame << PAGE_4K_BITS) | (vaddr & (PAGE_4K_SIZE - 1))
+        return paddr, PAGE_SIZE_4K
+
+    def page_size(self, vaddr: int) -> int:
+        """Ground-truth page size of a virtual address (allocating if new)."""
+        return self.translate(vaddr)[1]
+
+    def is_mapped(self, vaddr: int) -> bool:
+        v1g = vaddr >> PAGE_1G_BITS
+        if self._gb_decision.get(v1g):
+            return v1g in self._map_1g
+        v2m = vaddr >> PAGE_2M_BITS
+        if self._huge_decision.get(v2m):
+            return v2m in self._map_2m
+        return (vaddr >> PAGE_4K_BITS) in self._map_4k
+
+    # ------------------------------------------------------------------
+    # Fig. 3 accounting
+    # ------------------------------------------------------------------
+    @property
+    def bytes_in_4k(self) -> int:
+        return len(self._map_4k) * PAGE_4K_SIZE
+
+    @property
+    def bytes_in_2m(self) -> int:
+        return len(self._map_2m) * PAGE_2M_SIZE
+
+    @property
+    def bytes_in_1g(self) -> int:
+        return len(self._map_1g) * PAGE_1G_SIZE
+
+    def thp_usage_fraction(self) -> float:
+        """Fraction of currently allocated memory backed by 2MB pages."""
+        total = self.bytes_in_4k + self.bytes_in_2m + self.bytes_in_1g
+        return self.bytes_in_2m / total if total else 0.0
+
+    def sample_usage(self, accesses_seen: int) -> None:
+        """Record a (time, 2MB-usage) point for Fig. 3 style curves."""
+        self.usage_samples.append((accesses_seen, self.thp_usage_fraction()))

@@ -1,0 +1,72 @@
+"""Trace persistence: save and load traces as compact JSON-lines files.
+
+Serialising generated traces lets experiments be re-run bit-identically
+without regenerating (and lets externally produced traces — e.g. converted
+ChampSim traces — be fed into the simulator).  Format:
+
+- line 1: a JSON header ``{"name", "thp_fraction", "suite", "records"}``
+- one JSON array per record: ``[ip, vaddr, kind, bubble, dep]``
+
+Files ending in ``.gz`` are transparently gzip-compressed.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.workloads.trace import Trace
+
+PathLike = Union[str, Path]
+
+FORMAT_VERSION = 1
+
+
+def _open(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def save_trace(trace: Trace, path: PathLike) -> None:
+    """Write *trace* to *path* (JSON-lines, optionally gzipped)."""
+    path = Path(path)
+    header = {
+        "format_version": FORMAT_VERSION,
+        "name": trace.name,
+        "thp_fraction": trace.thp_fraction,
+        "suite": trace.suite,
+        "records": len(trace.records),
+    }
+    with _open(path, "w") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for ip, vaddr, kind, bubble, dep in trace.records:
+            handle.write(json.dumps(
+                [ip, vaddr, kind, bubble, 1 if dep else 0],
+                separators=(",", ":")) + "\n")
+
+
+def load_trace(path: PathLike) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    with _open(path, "r") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(header_line)
+        version = header.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(f"{path}: unsupported trace format {version!r}")
+        records = []
+        for line in handle:
+            ip, vaddr, kind, bubble, dep = json.loads(line)
+            records.append((ip, vaddr, kind, bubble, bool(dep)))
+    expected = header.get("records")
+    if expected is not None and expected != len(records):
+        raise ValueError(f"{path}: header declares {expected} records, "
+                         f"file contains {len(records)}")
+    return Trace(name=header["name"], records=records,
+                 thp_fraction=header["thp_fraction"],
+                 suite=header.get("suite", "unknown"))

@@ -1,0 +1,223 @@
+"""The 80-workload catalog (plus the non-intensive extension).
+
+Names mirror the x-axis of the paper's Fig. 8.  Each entry fixes the
+generator kind, its parameters, and the workload's THP usage fraction —
+the two axes the paper's mechanism is sensitive to (pattern shape vs page
+granularity, and how much memory lives in 2MB pages).  DESIGN.md §4
+documents the substitution rationale.
+
+Seeds are derived from the workload name so every trace is reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.workloads.generators import GENERATORS
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Catalog entry describing one workload."""
+
+    name: str
+    suite: str
+    kind: str
+    thp_fraction: float
+    params: dict = field(default_factory=dict)
+    intensive: bool = True
+
+    def seed(self) -> int:
+        digest = hashlib.sha256(self.name.encode()).digest()
+        return int.from_bytes(digest[:4], "little")
+
+    def generate(self, n_accesses: int) -> Trace:
+        records = GENERATORS[self.kind](n_accesses, self.seed(), **self.params)
+        return Trace(name=self.name, records=records,
+                     thp_fraction=self.thp_fraction, suite=self.suite)
+
+
+def _spec06() -> List[WorkloadSpec]:
+    s = "SPEC06"
+    return [
+        WorkloadSpec("gcc", s, "strided", 0.30, {"stride_blocks": 2}),
+        WorkloadSpec("bwaves", s, "streaming", 0.90, {"streams": 4}),
+        WorkloadSpec("mcf", s, "pointer_chase", 0.75, {}),
+        WorkloadSpec("milc", s, "wide_strided", 0.90, {"stride_blocks": 96}),
+        WorkloadSpec("cactus", s, "grain4k", 0.85, {"stride_choices": 5}),
+        WorkloadSpec("leslie3d", s, "streaming", 0.90, {"streams": 5}),
+        WorkloadSpec("gobmk", s, "pointer_chase", 0.30,
+                     {"footprint_bytes": 8 << 20}),
+        WorkloadSpec("soplex", s, "streaming", 0.08, {"streams": 3}),
+        WorkloadSpec("hmmer", s, "strided", 0.15, {"stride_blocks": 1}),
+        WorkloadSpec("GemsFDTD", s, "streaming", 0.92, {"streams": 6}),
+        WorkloadSpec("libquantum", s, "streaming", 0.95, {"streams": 1}),
+        WorkloadSpec("lbm", s, "streaming", 0.95, {"streams": 8}),
+        WorkloadSpec("omnetpp", s, "pointer_chase", 0.70, {}),
+        WorkloadSpec("astar", s, "pointer_chase", 0.60,
+                     {"footprint_bytes": 16 << 20}),
+        WorkloadSpec("wrf", s, "streaming", 0.80, {"streams": 4}),
+        WorkloadSpec("sphinx3", s, "strided", 0.85, {"stride_blocks": 2}),
+    ]
+
+
+def _spec17() -> List[WorkloadSpec]:
+    s = "SPEC17"
+    return [
+        WorkloadSpec("gcc_s", s, "strided", 0.20, {"stride_blocks": 3}),
+        WorkloadSpec("bwaves_s", s, "streaming", 0.90, {"streams": 4}),
+        WorkloadSpec("mcf_s", s, "pointer_chase", 0.70, {}),
+        WorkloadSpec("cactuBSSN_s", s, "phase_mix", 0.85,
+                     {"kind_a": "streaming", "kind_b": "wide_strided",
+                      "params_b": {"stride_blocks": 128}}),
+        WorkloadSpec("lbm_s", s, "streaming", 0.95, {"streams": 8}),
+        WorkloadSpec("omnetpp_s", s, "pointer_chase", 0.70, {}),
+        WorkloadSpec("wrf_s", s, "streaming", 0.80, {"streams": 4}),
+        WorkloadSpec("xalancbmk_s", s, "pointer_chase", 0.50,
+                     {"footprint_bytes": 16 << 20}),
+        WorkloadSpec("x264_s", s, "strided", 0.70, {"stride_blocks": 4}),
+        WorkloadSpec("cam4_s", s, "mixed", 0.70, {"stream_fraction": 0.6}),
+        WorkloadSpec("pop2_s", s, "mixed", 0.75, {"stream_fraction": 0.7}),
+        WorkloadSpec("leela_s", s, "pointer_chase", 0.40,
+                     {"footprint_bytes": 8 << 20}),
+        WorkloadSpec("fotonik3d_s", s, "streaming", 0.93, {"streams": 6}),
+        WorkloadSpec("roms_s", s, "streaming", 0.90, {"streams": 5}),
+        WorkloadSpec("xz_s", s, "mixed", 0.60, {"stream_fraction": 0.5}),
+    ]
+
+
+def _gap() -> List[WorkloadSpec]:
+    s = "GAP"
+    return [
+        WorkloadSpec("bfs.road", s, "grain4k", 0.80,
+                     {"stride_choices": 4, "run_length": 10}),
+        WorkloadSpec("cc.road", s, "grain4k", 0.80,
+                     {"stride_choices": 5, "run_length": 12}),
+        WorkloadSpec("bc.road", s, "grain4k", 0.80,
+                     {"stride_choices": 6, "run_length": 10}),
+        WorkloadSpec("sssp.road", s, "grain4k", 0.80,
+                     {"stride_choices": 5, "run_length": 8}),
+        WorkloadSpec("tc.road", s, "grain4k", 0.85,
+                     {"stride_choices": 7, "run_length": 8}),
+        WorkloadSpec("pr.road", s, "grain4k", 0.85,
+                     {"stride_choices": 2, "run_length": 24}),
+    ]
+
+
+def _cloud_ml() -> List[WorkloadSpec]:
+    return [
+        WorkloadSpec("data_caching", "CLOUD", "mixed", 0.60,
+                     {"stream_fraction": 0.5}),
+        WorkloadSpec("graph_analytics", "CLOUD", "grain4k", 0.20,
+                     {"stride_choices": 5}),
+        WorkloadSpec("mlpack_cf", "ML", "strided", 0.85, {"stride_blocks": 8}),
+        WorkloadSpec("sat_solver", "ML", "pointer_chase", 0.50,
+                     {"footprint_bytes": 16 << 20}),
+    ]
+
+
+#: QMM names exactly as listed on the Fig. 8 x-axis (39 traces).
+_QMM_NAMES = [
+    "qmm_int_315", "qmm_fp_12", "qmm_int_345", "qmm_int_398", "qmm_fp_87",
+    "qmm_int_763", "qmm_fp_4", "qmm_fp_8", "qmm_fp_96", "qmm_fp_1",
+    "qmm_fp_65", "qmm_int_906", "qmm_fp_95", "qmm_fp_67", "qmm_fp_133",
+    "qmm_fp_15", "qmm_fp_14", "qmm_fp_136", "qmm_fp_48", "qmm_fp_5",
+    "qmm_fp_7", "qmm_fp_101", "qmm_fp_45", "qmm_fp_30", "qmm_fp_139",
+    "qmm_fp_105", "qmm_fp_128", "qmm_fp_71", "qmm_fp_51", "qmm_fp_111",
+    "qmm_fp_110", "qmm_fp_6", "qmm_fp_134", "qmm_int_859", "qmm_fp_130",
+    "qmm_fp_116", "qmm_fp_112", "qmm_fp_127", "qmm_int_21",
+]
+
+
+def _qmm() -> List[WorkloadSpec]:
+    """Industrial traces: mostly streaming, some wide-stride, some phased.
+
+    Behaviour classes rotate deterministically through the name list so the
+    suite contains the same qualitative mixture the paper reports: large
+    PSA gains overall, a handful of PSA-2MB standouts (e.g. qmm_fp_67),
+    and phase-alternating traces where PSA-SD beats both components.
+    """
+    specs: List[WorkloadSpec] = []
+    for i, name in enumerate(_QMM_NAMES):
+        thp = 0.85 + (i % 3) * 0.05
+        cls = i % 6
+        if name in ("qmm_fp_67", "qmm_fp_133", "qmm_int_906"):
+            specs.append(WorkloadSpec(
+                name, "QMM", "wide_strided", 0.92,
+                {"stride_blocks": 96 + 32 * (i % 3)}))
+        elif name in ("qmm_fp_87", "qmm_fp_112", "qmm_int_21"):
+            specs.append(WorkloadSpec(
+                name, "QMM", "phase_mix", 0.90,
+                {"kind_a": "streaming", "kind_b": "wide_strided",
+                 "params_b": {"stride_blocks": 96 + 32 * (i % 2)}}))
+        elif name == "qmm_fp_12":
+            specs.append(WorkloadSpec(name, "QMM", "strided", 0.85,
+                                      {"stride_blocks": 2}))
+        elif cls in (0, 1, 2):
+            specs.append(WorkloadSpec(name, "QMM", "streaming", thp,
+                                      {"streams": 2 + i % 6}))
+        elif cls == 3:
+            specs.append(WorkloadSpec(name, "QMM", "strided", thp,
+                                      {"stride_blocks": 2 + i % 5}))
+        elif cls == 4:
+            specs.append(WorkloadSpec(name, "QMM", "mixed", thp,
+                                      {"stream_fraction": 0.6 + (i % 3) * 0.1}))
+        else:
+            specs.append(WorkloadSpec(name, "QMM", "streaming", thp,
+                                      {"streams": 1 + i % 4,
+                                       "store_fraction": 0.2}))
+    return specs
+
+
+def _non_intensive() -> List[WorkloadSpec]:
+    """Cache-resident SPEC-like workloads (LLC MPKI < 1) for §VI-B1."""
+    names = ["povray", "namd", "calculix", "gamess", "h264ref", "tonto",
+             "perlbench", "sjeng", "dealII", "gromacs", "specrand_i",
+             "specrand_f", "exchange2_s", "imagick_s", "nab_s", "povray_s"]
+    specs = []
+    for i, name in enumerate(names):
+        specs.append(WorkloadSpec(
+            name, "SPEC-NI", "streaming" if i % 2 else "strided",
+            0.5 + 0.03 * (i % 10),
+            {"footprint_bytes": 256 << 10,
+             **({"streams": 1 + i % 3} if i % 2 else {"stride_blocks": 1 + i % 4})},
+            intensive=False))
+    return specs
+
+
+def catalog(include_non_intensive: bool = False) -> Dict[str, WorkloadSpec]:
+    """Full workload catalog keyed by name (80 intensive workloads)."""
+    specs = (_spec06() + _spec17() + _gap() + _cloud_ml() + _qmm())
+    if include_non_intensive:
+        specs = specs + _non_intensive()
+    result = {spec.name: spec for spec in specs}
+    if len(result) != len(specs):
+        raise RuntimeError("duplicate workload names in catalog")
+    return result
+
+
+def suite_of(name: str) -> str:
+    return catalog(include_non_intensive=True)[name].suite
+
+
+def workloads_by_suite(suites: Optional[List[str]] = None) -> List[WorkloadSpec]:
+    """All intensive workloads, optionally filtered by suite label."""
+    specs = list(catalog().values())
+    if suites is not None:
+        specs = [s for s in specs if s.suite in suites]
+    return specs
+
+
+#: The nine workloads used in the paper's motivation figures (Figs. 3-5).
+MOTIVATION_WORKLOADS = ["lbm", "milc", "libquantum", "mcf", "soplex",
+                        "bwaves", "fotonik3d_s", "roms_s", "pr.road"]
+
+#: Suite grouping used by Fig. 9's x-axis.
+FIG9_GROUPS = {
+    "SPEC": ["SPEC06", "SPEC17"],
+    "GAP+ML+CLOUD": ["GAP", "ML", "CLOUD"],
+    "QMM": ["QMM"],
+}

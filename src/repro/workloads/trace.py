@@ -1,0 +1,54 @@
+"""Trace representation.
+
+A trace is the unit the simulator executes: an ordered list of memory
+records, each ``(ip, vaddr, kind, bubble, dep)``:
+
+- ``ip``     : instruction pointer of the memory instruction (drives
+  IP-indexed prefetchers such as IPCP and PPF features),
+- ``vaddr``  : virtual byte address accessed,
+- ``kind``   : ``KIND_LOAD`` or ``KIND_STORE``,
+- ``bubble`` : count of non-memory instructions fetched before this one
+  (they occupy ROB entries and fetch bandwidth),
+- ``dep``    : True when the access depends on the previous load's value
+  (pointer chasing — the access cannot issue before that load completes).
+
+Plain tuples keep the simulator's inner loop allocation-free.  Traces also
+carry the THP fraction their workload expects, which seeds the allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+KIND_LOAD = 0
+KIND_STORE = 1
+
+Record = Tuple[int, int, int, int, bool]
+
+
+@dataclass
+class Trace:
+    """A named, reproducible instruction/memory trace."""
+
+    name: str
+    records: List[Record] = field(default_factory=list)
+    thp_fraction: float = 0.9
+    suite: str = "synthetic"
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def instructions(self) -> int:
+        return sum(r[3] + 1 for r in self.records)
+
+    def memory_intensity(self) -> float:
+        """Memory accesses per instruction (coarse MPKI predictor)."""
+        instructions = self.instructions
+        return len(self.records) / instructions if instructions else 0.0
+
+    def footprint_bytes(self) -> int:
+        """Approximate touched memory (distinct 4KB pages x 4KB)."""
+        pages = {r[1] >> 12 for r in self.records}
+        return len(pages) << 12

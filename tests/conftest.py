@@ -1,0 +1,35 @@
+"""Shared test fixtures and helpers."""
+
+from typing import Optional
+
+import pytest
+
+from repro.memory.address import BLOCKS_PER_2M, BLOCKS_PER_4K, PAGE_SIZE_4K
+from repro.prefetch.base import BoundaryStats, PrefetchContext
+
+
+def make_ctx(block: int, ip: int = 0x400, hit: bool = False,
+             window: str = "4k", true_page_size: int = PAGE_SIZE_4K,
+             page_size_bit: Optional[int] = None,
+             collect: bool = True,
+             stats: Optional[BoundaryStats] = None) -> PrefetchContext:
+    """Build a PrefetchContext with a 4KB, 2MB, or unbounded window."""
+    if window == "4k":
+        lo = block & ~(BLOCKS_PER_4K - 1)
+        hi = lo + BLOCKS_PER_4K - 1
+    elif window == "2m":
+        lo = block & ~(BLOCKS_PER_2M - 1)
+        hi = lo + BLOCKS_PER_2M - 1
+    elif window == "open":
+        lo, hi = 0, 1 << 60
+    else:
+        raise ValueError(f"unknown window {window!r}")
+    return PrefetchContext(
+        block, ip, hit, lo, hi, stats if stats is not None else BoundaryStats(),
+        page_size_bit=page_size_bit, true_page_size=true_page_size,
+        collect=collect)
+
+
+@pytest.fixture
+def ctx_factory():
+    return make_ctx

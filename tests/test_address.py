@@ -1,0 +1,106 @@
+"""Tests for repro.memory.address — block/page geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory import address as addr
+
+
+class TestConstants:
+    def test_block_size(self):
+        assert addr.BLOCK_SIZE == 64
+
+    def test_page_sizes(self):
+        assert addr.PAGE_4K_SIZE == 4096
+        assert addr.PAGE_2M_SIZE == 2 * 1024 * 1024
+
+    def test_blocks_per_page(self):
+        assert addr.BLOCKS_PER_4K == 64
+        assert addr.BLOCKS_PER_2M == 32768
+
+    def test_4k_pages_per_2m(self):
+        assert addr.PAGES_4K_PER_2M == 512
+
+    def test_page_size_codes_distinct(self):
+        assert addr.PAGE_SIZE_4K != addr.PAGE_SIZE_2M
+
+
+class TestConversions:
+    def test_block_number(self):
+        assert addr.block_number(0) == 0
+        assert addr.block_number(63) == 0
+        assert addr.block_number(64) == 1
+        assert addr.block_number(4096) == 64
+
+    def test_block_address_roundtrip(self):
+        assert addr.block_address(addr.block_number(0x12345)) == 0x12340
+
+    def test_page_number(self):
+        assert addr.page_number(4095) == 0
+        assert addr.page_number(4096) == 1
+
+    def test_page2m_number(self):
+        assert addr.page2m_number(addr.PAGE_2M_SIZE - 1) == 0
+        assert addr.page2m_number(addr.PAGE_2M_SIZE) == 1
+
+    def test_page_of_block(self):
+        assert addr.page_of_block(63) == 0
+        assert addr.page_of_block(64) == 1
+
+    def test_page2m_of_block(self):
+        assert addr.page2m_of_block(32767) == 0
+        assert addr.page2m_of_block(32768) == 1
+
+    def test_block_offsets(self):
+        assert addr.block_offset_in_4k(64) == 0
+        assert addr.block_offset_in_4k(65) == 1
+        assert addr.block_offset_in_2m(32768) == 0
+        assert addr.block_offset_in_2m(32769) == 1
+
+    def test_make_address(self):
+        assert addr.make_address(1) == 4096
+        assert addr.make_address(1, 128) == 4096 + 128
+
+    def test_make_address_masks_offset(self):
+        # Offsets beyond one page must not leak into the page number.
+        assert addr.make_address(2, 4096 + 4) == addr.make_address(2, 4)
+
+
+class TestSamePage:
+    def test_same_4k_page_positive(self):
+        assert addr.same_4k_page(0, 63)
+
+    def test_same_4k_page_negative(self):
+        assert not addr.same_4k_page(63, 64)
+
+    def test_same_2m_page_positive(self):
+        assert addr.same_2m_page(0, 32767)
+
+    def test_same_2m_page_negative(self):
+        assert not addr.same_2m_page(32767, 32768)
+
+    def test_4k_subset_of_2m(self):
+        # Blocks in the same 4KB page are always in the same 2MB page.
+        for a, b in [(5, 60), (100, 127), (32700, 32705)]:
+            if addr.same_4k_page(a, b):
+                assert addr.same_2m_page(a, b)
+
+
+@given(st.integers(min_value=0, max_value=2**48))
+def test_block_page_consistency(byte_addr):
+    block = addr.block_number(byte_addr)
+    assert addr.page_of_block(block) == addr.page_number(byte_addr)
+    assert addr.page2m_of_block(block) == addr.page2m_number(byte_addr)
+
+
+@given(st.integers(min_value=0, max_value=2**42))
+def test_offset_bounds(block):
+    assert 0 <= addr.block_offset_in_4k(block) < addr.BLOCKS_PER_4K
+    assert 0 <= addr.block_offset_in_2m(block) < addr.BLOCKS_PER_2M
+
+
+@given(st.integers(min_value=0, max_value=2**42),
+       st.integers(min_value=0, max_value=2**42))
+def test_same_4k_implies_same_2m(a, b):
+    if addr.same_4k_page(a, b):
+        assert addr.same_2m_page(a, b)

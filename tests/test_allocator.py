@@ -1,0 +1,181 @@
+"""Tests for repro.vm.allocator — THP policy and physical layout.
+
+The two load-bearing properties for the paper's mechanism are checked
+here: physical contiguity inside 2MB pages and scatter across 4KB pages.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.address import (
+    PAGE_2M_SIZE,
+    PAGE_4K_SIZE,
+    PAGE_SIZE_2M,
+    PAGE_SIZE_4K,
+)
+from repro.vm.allocator import PhysicalMemoryAllocator
+
+
+class TestTHPPolicy:
+    def test_thp_fraction_validation(self):
+        with pytest.raises(ValueError):
+            PhysicalMemoryAllocator(thp_fraction=1.5)
+
+    def test_all_huge(self):
+        alloc = PhysicalMemoryAllocator(thp_fraction=1.0)
+        for i in range(20):
+            _, size = alloc.translate(i * PAGE_2M_SIZE)
+            assert size == PAGE_SIZE_2M
+
+    def test_none_huge(self):
+        alloc = PhysicalMemoryAllocator(thp_fraction=0.0)
+        for i in range(20):
+            _, size = alloc.translate(i * PAGE_2M_SIZE)
+            assert size == PAGE_SIZE_4K
+
+    def test_fraction_approximated(self):
+        alloc = PhysicalMemoryAllocator(thp_fraction=0.7, seed=3)
+        huge = sum(alloc.translate(i * PAGE_2M_SIZE)[1] == PAGE_SIZE_2M
+                   for i in range(400))
+        assert 0.6 < huge / 400 < 0.8
+
+    def test_decision_stable_per_region(self):
+        alloc = PhysicalMemoryAllocator(thp_fraction=0.5, seed=1)
+        vaddr = 17 * PAGE_2M_SIZE
+        first = alloc.translate(vaddr)[1]
+        for offset in (0, 100, PAGE_2M_SIZE - 1):
+            assert alloc.translate(vaddr + offset)[1] == first
+
+    def test_deterministic_across_instances(self):
+        a = PhysicalMemoryAllocator(thp_fraction=0.5, seed=9)
+        b = PhysicalMemoryAllocator(thp_fraction=0.5, seed=9)
+        for i in range(50):
+            assert a.translate(i * PAGE_2M_SIZE) == b.translate(i * PAGE_2M_SIZE)
+
+
+class TestContiguity:
+    def test_2mb_page_physically_contiguous(self):
+        """The property that makes PPM's boundary crossing *safe*."""
+        alloc = PhysicalMemoryAllocator(thp_fraction=1.0)
+        base_v = 5 * PAGE_2M_SIZE
+        base_p, _ = alloc.translate(base_v)
+        for offset in range(0, PAGE_2M_SIZE, PAGE_4K_SIZE):
+            paddr, _ = alloc.translate(base_v + offset)
+            assert paddr == base_p + offset
+
+    def test_2mb_page_physically_aligned(self):
+        alloc = PhysicalMemoryAllocator(thp_fraction=1.0)
+        paddr, _ = alloc.translate(3 * PAGE_2M_SIZE)
+        assert paddr % PAGE_2M_SIZE == 0
+
+    def test_4kb_pages_scattered(self):
+        """Adjacent virtual 4KB pages must not be physically adjacent (in
+        general) — crossing a 4KB boundary would fetch unrelated data."""
+        alloc = PhysicalMemoryAllocator(thp_fraction=0.0)
+        adjacent = 0
+        previous = alloc.translate(0)[0]
+        for i in range(1, 200):
+            paddr = alloc.translate(i * PAGE_4K_SIZE)[0]
+            if abs(paddr - previous) == PAGE_4K_SIZE:
+                adjacent += 1
+            previous = paddr
+        assert adjacent < 5
+
+    def test_4kb_frames_unique(self):
+        alloc = PhysicalMemoryAllocator(thp_fraction=0.0)
+        frames = {alloc.translate(i * PAGE_4K_SIZE)[0] >> 12
+                  for i in range(5000)}
+        assert len(frames) == 5000
+
+    def test_2mb_frames_unique(self):
+        alloc = PhysicalMemoryAllocator(thp_fraction=1.0)
+        frames = {alloc.translate(i * PAGE_2M_SIZE)[0] >> 21
+                  for i in range(500)}
+        assert len(frames) == 500
+
+    def test_pools_disjoint(self):
+        alloc = PhysicalMemoryAllocator(thp_fraction=0.5, seed=2)
+        frames_4k = set()
+        frames_2m_span = set()
+        for i in range(500):
+            paddr, size = alloc.translate(i * PAGE_2M_SIZE)
+            if size == PAGE_SIZE_4K:
+                frames_4k.add(paddr >> 12)
+            else:
+                base = paddr >> 12
+                frames_2m_span.update(range(base, base + 512))
+        assert not frames_4k & frames_2m_span
+
+    def test_core_id_shifts_pools(self):
+        a = PhysicalMemoryAllocator(thp_fraction=0.5, seed=2, core_id=0)
+        b = PhysicalMemoryAllocator(thp_fraction=0.5, seed=2, core_id=1)
+        pa = {a.translate(i * PAGE_4K_SIZE)[0] >> 12 for i in range(1000)}
+        pb = {b.translate(i * PAGE_4K_SIZE)[0] >> 12 for i in range(1000)}
+        assert not pa & pb
+
+
+class TestTranslationStability:
+    def test_translation_idempotent(self):
+        alloc = PhysicalMemoryAllocator(thp_fraction=0.5, seed=4)
+        for vaddr in (0, 12345, 10 * PAGE_2M_SIZE + 77):
+            assert alloc.translate(vaddr) == alloc.translate(vaddr)
+
+    def test_offset_preserved_within_page(self):
+        alloc = PhysicalMemoryAllocator(thp_fraction=0.0)
+        base_p = alloc.translate(PAGE_4K_SIZE * 9)[0]
+        assert alloc.translate(PAGE_4K_SIZE * 9 + 123)[0] == base_p + 123
+
+    def test_is_mapped(self):
+        alloc = PhysicalMemoryAllocator(thp_fraction=0.0)
+        assert not alloc.is_mapped(42 * PAGE_4K_SIZE)
+        alloc.translate(42 * PAGE_4K_SIZE)
+        assert alloc.is_mapped(42 * PAGE_4K_SIZE)
+
+
+class TestUsageAccounting:
+    def test_usage_fraction_empty(self):
+        assert PhysicalMemoryAllocator().thp_usage_fraction() == 0.0
+
+    def test_usage_fraction_all_2m(self):
+        alloc = PhysicalMemoryAllocator(thp_fraction=1.0)
+        alloc.translate(0)
+        assert alloc.thp_usage_fraction() == 1.0
+
+    def test_usage_mixed(self):
+        alloc = PhysicalMemoryAllocator(thp_fraction=0.5, seed=11)
+        for i in range(100):
+            alloc.translate(i * PAGE_2M_SIZE)
+        fraction = alloc.thp_usage_fraction()
+        # 2MB pages dominate byte-wise: each huge region contributes 512x
+        # the bytes of a singly-touched 4KB page.
+        assert fraction > 0.9
+
+    def test_samples_recorded(self):
+        alloc = PhysicalMemoryAllocator(thp_fraction=1.0)
+        alloc.translate(0)
+        alloc.sample_usage(10)
+        alloc.sample_usage(20)
+        assert alloc.usage_samples == [(10, 1.0), (20, 1.0)]
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(min_value=0, max_value=2**40), max_size=50),
+       st.floats(min_value=0.0, max_value=1.0))
+def test_property_page_offset_preserved(vaddrs, thp):
+    alloc = PhysicalMemoryAllocator(thp_fraction=thp, seed=1)
+    for vaddr in vaddrs:
+        paddr, size = alloc.translate(vaddr)
+        if size == PAGE_SIZE_2M:
+            assert paddr % PAGE_2M_SIZE == vaddr % PAGE_2M_SIZE
+        else:
+            assert paddr % PAGE_4K_SIZE == vaddr % PAGE_4K_SIZE
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(min_value=0, max_value=2**36), min_size=2,
+                max_size=60, unique=True),
+       st.floats(min_value=0.0, max_value=1.0))
+def test_property_distinct_vpages_distinct_paddrs(vpages, thp):
+    alloc = PhysicalMemoryAllocator(thp_fraction=thp, seed=5)
+    paddrs = [alloc.translate(v * PAGE_4K_SIZE)[0] for v in vpages]
+    assert len(set(paddrs)) == len(paddrs)

@@ -1,0 +1,45 @@
+"""Public-API surface tests: everything __all__ promises exists and works."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists missing {name}"
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_prefetcher_registry_contents(self):
+        for name in ("spp", "vldp", "ppf", "bop", "next-line", "sms",
+                     "ampm"):
+            assert name in repro.PREFETCHERS
+
+    def test_variant_list(self):
+        assert repro.VARIANTS == ("none", "original", "psa", "psa-2mb",
+                                  "psa-sd")
+
+    def test_catalog_callable(self):
+        assert len(repro.catalog()) == 80
+
+    def test_motivation_workloads(self):
+        assert len(repro.MOTIVATION_WORKLOADS) == 9
+
+
+class TestEndToEndThroughPublicAPI:
+    def test_simulate_and_speedup(self):
+        metrics = repro.simulate_workload("lbm", variant="psa",
+                                          n_accesses=2000)
+        assert metrics.ipc > 0
+        gain = repro.speedup("lbm", "spp", "psa", n_accesses=2000)
+        assert gain > 0
+
+    def test_make_module_through_api(self):
+        module = repro.make_l2_module("spp", "psa-sd", repro.SystemConfig())
+        assert isinstance(module, repro.CompositePSAPrefetcher)
+
+    def test_variant_sweep_through_api(self):
+        sweep = repro.variant_sweep(["lbm"], "spp", ["psa"],
+                                    n_accesses=2000)
+        assert sweep["psa"]["lbm"] > 0

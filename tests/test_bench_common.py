@@ -1,0 +1,60 @@
+"""Tests for the benchmark harness helpers (benchmarks/bench_common.py)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+
+import bench_common  # noqa: E402
+
+
+class TestWorkloadSelection:
+    def test_all_names_full_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MAX_WORKLOADS", raising=False)
+        assert len(bench_common.all_workload_names()) == 80
+
+    def test_cap_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKLOADS", "10")
+        names = bench_common.all_workload_names()
+        assert len(names) == 10
+
+    def test_anchors_survive_capping(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKLOADS", "8")
+        names = bench_common.all_workload_names()
+        for anchor in bench_common.ANCHOR_WORKLOADS:
+            assert anchor in names
+
+    def test_no_duplicates_after_anchoring(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKLOADS", "6")
+        names = bench_common.all_workload_names()
+        assert len(names) == len(set(names))
+
+    def test_representative_subset_valid(self):
+        from repro.workloads.suites import catalog
+        names = set(catalog())
+        for workload in bench_common.REPRESENTATIVE_WORKLOADS:
+            assert workload in names
+
+    def test_representative_covers_all_suite_groups(self):
+        from repro.workloads.suites import FIG9_GROUPS
+        suites = bench_common.suite_map()
+        present = {suites[w] for w in bench_common.REPRESENTATIVE_WORKLOADS}
+        for group_suites in FIG9_GROUPS.values():
+            assert present & set(group_suites)
+
+
+class TestResultArchiving:
+    def test_table_saves_and_prints(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setattr(bench_common, "RESULTS_DIR", tmp_path)
+        text = bench_common.table("unit_test_artifact", "A Title",
+                                  ["x"], [[1]])
+        assert "A Title" in text
+        assert (tmp_path / "unit_test_artifact.txt").exists()
+        assert "A Title" in capsys.readouterr().out
+
+    def test_save_result_writes_file(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(bench_common, "RESULTS_DIR", tmp_path)
+        bench_common.save_result("x", "CONTENT")
+        assert (tmp_path / "x.txt").read_text() == "CONTENT\n"

@@ -1,0 +1,183 @@
+"""Tests for repro.memory.cache — set-associative cache structure."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import NO_ISSUER, Cache
+from repro.sim.config import CacheConfig
+
+
+def small_cache(sets=4, ways=2, mshr=4):
+    config = CacheConfig("T", sets * ways * 64, ways, 10, mshr)
+    return Cache(config)
+
+
+class TestGeometry:
+    def test_set_count(self):
+        cache = small_cache(sets=8, ways=2)
+        assert cache.num_sets == 8
+
+    def test_set_index_uses_low_block_bits(self):
+        cache = small_cache(sets=8)
+        assert cache.set_index(0) == 0
+        assert cache.set_index(9) == 1
+        assert cache.set_index(16) == 0
+
+    def test_invalid_geometry_rejected(self):
+        config = CacheConfig("bad", 1000, 3, 1, 1)
+        with pytest.raises(ValueError):
+            Cache(config)
+
+
+class TestLookupFill:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.lookup(5) is None
+        cache.fill(5)
+        assert cache.lookup(5) is not None
+
+    def test_contains_no_lru_disturbance(self):
+        cache = small_cache(sets=1, ways=2)
+        cache.fill(0)
+        cache.fill(4)           # same set (sets=1)
+        assert cache.contains(0)
+        cache.fill(8)           # evicts LRU: block 0 (contains didn't touch)
+        assert not cache.contains(0)
+
+    def test_eviction_returns_victim_line(self):
+        cache = small_cache(sets=1, ways=1)
+        cache.fill(0, dirty=True)
+        evicted = cache.fill(1)
+        assert evicted is not None
+        victim_block, line = evicted
+        assert victim_block == 0
+        assert line.dirty
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(sets=1, ways=2)
+        cache.fill(0)
+        cache.fill(1)
+        cache.lookup(0)         # refresh 0
+        evicted = cache.fill(2)
+        assert evicted[0] == 1
+
+    def test_refill_merges_dirty(self):
+        cache = small_cache()
+        cache.fill(3)
+        assert cache.fill(3, dirty=True) is None
+        assert cache.lookup(3).dirty
+
+    def test_demand_fill_clears_prefetch_bit(self):
+        cache = small_cache()
+        cache.fill(3, prefetch=True)
+        cache.fill(3)                      # demand fill racing the prefetch
+        assert not cache.lookup(3).prefetch
+
+    def test_prefetch_refill_keeps_prefetch_bit(self):
+        cache = small_cache()
+        cache.fill(3, prefetch=True)
+        cache.fill(3, prefetch=True)
+        assert cache.lookup(3).prefetch
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.fill(5)
+        assert cache.invalidate(5)
+        assert cache.lookup(5) is None
+        assert not cache.invalidate(5)
+
+    def test_mark_dirty(self):
+        cache = small_cache()
+        cache.fill(5)
+        cache.mark_dirty(5)
+        assert cache.lookup(5).dirty
+
+    def test_writeback_counter(self):
+        cache = small_cache(sets=1, ways=1)
+        cache.fill(0, dirty=True)
+        cache.fill(1)
+        assert cache.writebacks == 1
+
+
+class TestAnnotation:
+    """The Set-Dueling annotation bit lives on each line (Section IV-B2)."""
+
+    def test_issuer_recorded(self):
+        cache = small_cache()
+        cache.fill(2, prefetch=True, issuer=1)
+        assert cache.lookup(2).issuer == 1
+
+    def test_default_no_issuer(self):
+        cache = small_cache()
+        cache.fill(2)
+        assert cache.lookup(2).issuer == NO_ISSUER
+
+
+class TestDemandAccounting:
+    def test_hit_and_miss_counts(self):
+        cache = small_cache()
+        cache.record_demand(False, None)
+        cache.fill(1)
+        line = cache.lookup(1)
+        cache.record_demand(True, line)
+        assert cache.demand_accesses == 2
+        assert cache.demand_hits == 1
+        assert cache.demand_misses == 1
+
+    def test_useful_prefetch_returns_issuer_once(self):
+        cache = small_cache()
+        cache.fill(1, prefetch=True, issuer=1)
+        line = cache.lookup(1)
+        assert cache.record_demand(True, line) == 1
+        assert cache.useful_prefetches == 1
+        # Second hit: bit already cleared, not useful again.
+        assert cache.record_demand(True, line) is None
+        assert cache.useful_prefetches == 1
+
+    def test_prefetch_fill_counter(self):
+        cache = small_cache()
+        cache.fill(1, prefetch=True)
+        cache.fill(2)
+        assert cache.prefetch_fills == 1
+
+    def test_reset_stats(self):
+        cache = small_cache()
+        cache.fill(1, prefetch=True)
+        cache.record_demand(False, None)
+        cache.reset_stats()
+        assert cache.demand_accesses == 0
+        assert cache.prefetch_fills == 0
+
+
+class TestOccupancy:
+    def test_occupancy_bounded_by_capacity(self):
+        cache = small_cache(sets=4, ways=2)
+        for block in range(100):
+            cache.fill(block)
+        assert cache.occupancy() <= 8
+
+    def test_resident_blocks_match_contains(self):
+        cache = small_cache()
+        for block in (1, 9, 17):
+            cache.fill(block)
+        for block in cache.resident_blocks():
+            assert cache.contains(block)
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(min_value=0, max_value=63), max_size=200))
+def test_property_set_capacity_never_exceeded(blocks):
+    cache = small_cache(sets=4, ways=2)
+    for block in blocks:
+        cache.fill(block)
+    for cache_set in cache._sets:
+        assert len(cache_set) <= cache.ways
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(min_value=0, max_value=63), max_size=200))
+def test_property_most_recent_fill_resident(blocks):
+    cache = small_cache(sets=4, ways=2)
+    for block in blocks:
+        cache.fill(block)
+        assert cache.contains(block)

@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRun:
+    def test_run_prints_metrics(self, capsys):
+        code = main(["run", "--workload", "lbm", "--variant", "psa",
+                     "--accesses", "2000", "--baseline", ""])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "IPC" in out
+        assert "L2C coverage %" in out
+
+    def test_run_with_baseline_speedup(self, capsys):
+        code = main(["run", "--workload", "lbm", "--variant", "psa",
+                     "--accesses", "2000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "speedup over spp-original" in out
+
+    def test_run_unknown_variant_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--workload", "lbm", "--variant", "turbo"])
+
+
+class TestCompare:
+    def test_compare_variants(self, capsys):
+        code = main(["compare", "--workload", "lbm",
+                     "--variants", "original,psa", "--accesses", "2000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "spp-original" in out
+        assert "spp-psa" in out
+
+    def test_compare_bad_variant(self, capsys):
+        code = main(["compare", "--workload", "lbm",
+                     "--variants", "original,warp", "--accesses", "2000"])
+        assert code == 2
+        assert "unknown variant" in capsys.readouterr().err
+
+
+class TestCatalog:
+    def test_lists_80(self, capsys):
+        assert main(["catalog"]) == 0
+        assert "80 workloads" in capsys.readouterr().out
+
+    def test_suite_filter(self, capsys):
+        assert main(["catalog", "--suite", "GAP"]) == 0
+        out = capsys.readouterr().out
+        assert "6 workloads" in out
+        assert "tc.road" in out
+
+    def test_all_includes_non_intensive(self, capsys):
+        assert main(["catalog", "--all"]) == 0
+        assert "povray" in capsys.readouterr().out
+
+
+class TestConfig:
+    def test_prints_table1(self, capsys):
+        assert main(["config"]) == 0
+        out = capsys.readouterr().out
+        assert "352-entry ROB" in out
+
+
+class TestTrace:
+    def test_generate_describe_simulate(self, tmp_path, capsys):
+        path = tmp_path / "lbm.trace.gz"
+        assert main(["trace", "--workload", "lbm", "--out", str(path),
+                     "--accesses", "1000"]) == 0
+        assert path.exists()
+        assert main(["trace", "--describe", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1000" in out
+        assert main(["trace", "--simulate", str(path)]) == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_unknown_workload(self, tmp_path, capsys):
+        code = main(["trace", "--workload", "nope",
+                     "--out", str(tmp_path / "x")])
+        assert code == 2
+
+    def test_missing_arguments(self, capsys):
+        assert main(["trace"]) == 2
+
+
+class TestReport:
+    def test_report_concatenates_results(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig01.txt").write_text("FIGURE-ONE\n")
+        (results / "fig02.txt").write_text("FIGURE-TWO\n")
+        assert main(["report", "--results-dir", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "FIGURE-ONE" in out and "FIGURE-TWO" in out
+        assert "2 artifacts" in out
+
+    def test_report_missing_dir(self, tmp_path, capsys):
+        assert main(["report", "--results-dir",
+                     str(tmp_path / "nope")]) == 2
+
+    def test_report_empty_dir(self, tmp_path, capsys):
+        empty = tmp_path / "results"
+        empty.mkdir()
+        assert main(["report", "--results-dir", str(empty)]) == 2

@@ -1,0 +1,105 @@
+"""Tests for repro.sim.config — Table I configuration and sweeps."""
+
+import pytest
+
+from repro.sim.config import (
+    SCALE_ACCESSES,
+    CacheConfig,
+    DRAMConfig,
+    SystemConfig,
+    accesses_for_scale,
+    current_scale,
+    mixes_for_scale,
+)
+
+
+class TestCacheConfig:
+    def test_table1_l2c_geometry(self):
+        config = SystemConfig()
+        assert config.l2c.sets == 1024       # 512KB / (8 x 64B)
+        assert config.l2c.mshr_entries == 32
+
+    def test_table1_llc_geometry(self):
+        config = SystemConfig()
+        assert config.llc.sets == 2048       # 2MB / (16 x 64B)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 1000, 3, 1, 1).validate()
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 3 * 64 * 2, 2, 1, 1).validate()
+
+
+class TestSystemConfig:
+    def test_default_validates(self):
+        SystemConfig().validate()
+
+    def test_leader_set_constraint(self):
+        import dataclasses
+        config = SystemConfig()
+        config.l2c = dataclasses.replace(config.l2c, size_bytes=2048, ways=1)
+        with pytest.raises(ValueError, match="leader sets"):
+            config.validate()
+
+    def test_describe_contains_table1_rows(self):
+        text = SystemConfig().describe()
+        for fragment in ("352-entry ROB", "512KB", "2MB" if False else "LLC",
+                         "3200MT/s", "1536-entry"):
+            assert fragment in text
+
+
+class TestSweeps:
+    def test_scaled_llc(self):
+        base = SystemConfig()
+        scaled = base.scaled_llc(1 << 20)
+        assert scaled.llc.size_bytes == 1 << 20
+        assert base.llc.size_bytes == 2 << 20     # original untouched
+
+    def test_scaled_l2c_mshr(self):
+        scaled = SystemConfig().scaled_l2c_mshr(8)
+        assert scaled.l2c.mshr_entries == 8
+        assert scaled.l2c.size_bytes == 512 << 10
+
+    def test_scaled_dram(self):
+        scaled = SystemConfig().scaled_dram(400)
+        assert scaled.dram.transfer_rate_mts == 400
+
+    def test_sweep_copies_are_independent(self):
+        base = SystemConfig()
+        a = base.scaled_dram(400)
+        b = base.scaled_dram(6400)
+        assert a.dram.transfer_rate_mts != b.dram.transfer_rate_mts
+
+
+class TestDRAMConfig:
+    def test_cycles_per_transfer_monotone(self):
+        rates = [400, 800, 1600, 3200, 6400]
+        cycles = [DRAMConfig(transfer_rate_mts=r).cycles_per_transfer
+                  for r in rates]
+        assert cycles == sorted(cycles, reverse=True)
+
+
+class TestScaleKnobs:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale() == "small"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        assert current_scale() == "medium"
+        assert accesses_for_scale() == SCALE_ACCESSES["medium"]
+
+    def test_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_explicit_scale_argument(self):
+        assert accesses_for_scale("tiny") == SCALE_ACCESSES["tiny"]
+        assert mixes_for_scale("large") == 100
+
+    def test_scales_ordered(self):
+        assert (SCALE_ACCESSES["tiny"] < SCALE_ACCESSES["small"]
+                < SCALE_ACCESSES["medium"] < SCALE_ACCESSES["large"])

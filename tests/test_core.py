@@ -1,0 +1,148 @@
+"""Tests for repro.cpu.core — the ROB-bounded timing model."""
+
+import pytest
+
+from repro.cpu.core import Core
+from repro.workloads.trace import KIND_LOAD, KIND_STORE, Trace
+
+
+class FixedLatencyHierarchy:
+    """Stub hierarchy: every load completes after a fixed latency."""
+
+    def __init__(self, latency=100.0):
+        self.latency = latency
+        self.load_times = []
+
+    def load(self, vaddr, ip, now):
+        self.load_times.append(now)
+        return now + self.latency
+
+    def store(self, vaddr, ip, now):
+        return now + 1.0
+
+
+def load_record(bubble=0, dep=False, vaddr=0):
+    return (0x4, vaddr, KIND_LOAD, bubble, dep)
+
+
+def run_core(records, latency=100.0, rob=352, width=4, warmup=0):
+    hierarchy = FixedLatencyHierarchy(latency)
+    core = Core(hierarchy, rob_entries=rob, fetch_width=width)
+    result = core.run(Trace("t", list(records)), warmup_records=warmup)
+    return result, hierarchy
+
+
+class TestBasics:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Core(FixedLatencyHierarchy(), rob_entries=0)
+
+    def test_instruction_count(self):
+        result, _ = run_core([load_record(bubble=3)] * 10)
+        assert result.instructions == 40
+
+    def test_ipc_bounded_by_width(self):
+        result, _ = run_core([load_record(bubble=9)] * 100, latency=0.0)
+        assert result.ipc <= 4.0 + 1e-9
+
+    def test_stores_do_not_block(self):
+        records = [(0x4, 0, KIND_STORE, 0, False)] * 100
+        result, _ = run_core(records, latency=10_000.0)
+        assert result.ipc > 1.0
+
+    def test_mpki_helper(self):
+        result, _ = run_core([load_record()] * 10)
+        assert result.mpki_of(result.instructions) == pytest.approx(1000.0)
+
+
+class TestMLP:
+    def test_independent_loads_overlap(self):
+        """With a big ROB, total time is ~one latency, not the sum."""
+        n = 16
+        result, _ = run_core([load_record()] * n, latency=1000.0)
+        assert result.cycles < 2_000
+
+    def test_dependent_loads_serialise(self):
+        n = 16
+        result, _ = run_core([load_record(dep=True)] * n, latency=1000.0)
+        assert result.cycles > (n - 1) * 1000.0
+
+    def test_small_rob_limits_mlp(self):
+        n = 64
+        big, _ = run_core([load_record(bubble=7)] * n, latency=1000.0,
+                          rob=512)
+        small, _ = run_core([load_record(bubble=7)] * n, latency=1000.0,
+                            rob=16)
+        assert small.cycles > 2 * big.cycles
+
+    def test_rob_full_stalls_fetch(self):
+        _, hierarchy = run_core([load_record(bubble=351)] * 3,
+                                latency=5000.0, rob=352)
+        # Third load cannot issue until the first completes (ROB full).
+        assert hierarchy.load_times[2] >= 5000.0
+
+
+class TestWarmup:
+    def test_warmup_excluded_from_stats(self):
+        records = [load_record()] * 100
+        full, _ = run_core(records)
+        half, _ = run_core(records, warmup=50)
+        assert half.instructions == full.instructions // 2
+        assert half.memory_accesses == 50
+        assert half.cycles < full.cycles
+
+    def test_warmup_larger_than_trace(self):
+        result, _ = run_core([load_record()] * 10, warmup=100)
+        assert result.instructions == 0
+        assert result.cycles > 0   # guard value, no division by zero
+
+    def test_ipc_similar_with_and_without_warmup(self):
+        records = [load_record(bubble=3)] * 2000
+        full, _ = run_core(records)
+        measured, _ = run_core(records, warmup=1000)
+        assert measured.ipc == pytest.approx(full.ipc, rel=0.1)
+
+
+class TestStepAPI:
+    def test_reset_clears_state(self):
+        hierarchy = FixedLatencyHierarchy()
+        core = Core(hierarchy)
+        core.step(load_record())
+        core.reset()
+        assert core.instructions == 0
+        assert core.now == 0.0
+
+    def test_step_returns_completion(self):
+        core = Core(FixedLatencyHierarchy(latency=100.0))
+        complete = core.step(load_record())
+        assert complete > 100.0 - 1
+
+    def test_now_advances(self):
+        core = Core(FixedLatencyHierarchy())
+        before = core.now
+        core.step(load_record(bubble=7))
+        assert core.now > before
+
+
+class TestStallAccounting:
+    def test_no_stalls_when_memory_instant(self):
+        result, _ = run_core([load_record(bubble=3)] * 50, latency=0.0)
+        assert result.stall_cycles == 0.0
+
+    def test_stalls_accumulate_under_long_latency(self):
+        result, _ = run_core([load_record(bubble=3)] * 200, latency=2000.0,
+                             rob=32)
+        assert result.stall_cycles > 0.0
+
+    def test_stalls_reset_at_measurement(self):
+        records = [load_record(bubble=3)] * 200
+        full, _ = run_core(records, latency=2000.0, rob=32)
+        half, _ = run_core(records, latency=2000.0, rob=32, warmup=100)
+        assert half.stall_cycles < full.stall_cycles
+
+    def test_dependent_chain_stalls_more(self):
+        independent, _ = run_core([load_record(bubble=3)] * 100,
+                                  latency=500.0)
+        dependent, _ = run_core([load_record(bubble=3, dep=True)] * 100,
+                                latency=500.0)
+        assert dependent.stall_cycles > independent.stall_cycles

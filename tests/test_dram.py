@@ -1,0 +1,112 @@
+"""Tests for repro.memory.dram — row buffers and channel bandwidth."""
+
+import pytest
+
+from repro.memory.dram import DRAM
+from repro.sim.config import DRAMConfig
+
+
+def make(channels=1, rate=3200, banks=8):
+    return DRAM(DRAMConfig(channels=channels, transfer_rate_mts=rate,
+                           banks_per_channel=banks))
+
+
+class TestRowBuffer:
+    def test_first_access_is_row_miss(self):
+        dram = make()
+        dram.access(0, now=0.0)
+        assert dram.row_misses == 1
+        assert dram.row_hits == 0
+
+    def test_same_row_hits(self):
+        dram = make()
+        dram.access(0, now=0.0)
+        dram.access(0, now=100.0)
+        assert dram.row_hits == 1
+
+    def test_sequential_blocks_in_row_hit(self):
+        # One 8KB row covers 128 blocks interleaved across 8 banks; blocks
+        # in the same (channel, bank, row) triple must hit the open row.
+        dram = make(channels=1, banks=1)
+        dram.access(0, now=0.0)
+        dram.access(1, now=100.0)
+        assert dram.row_hits == 1
+
+    def test_row_conflict_misses(self):
+        dram = make(channels=1, banks=1)
+        blocks_per_row = 8192 // 64
+        dram.access(0, now=0.0)
+        dram.access(blocks_per_row, now=100.0)   # next row, same bank
+        assert dram.row_misses == 2
+
+    def test_hit_latency_lower_than_miss(self):
+        dram = make()
+        t_miss = dram.access(0, now=0.0) - 0.0
+        t_hit = dram.access(0, now=1000.0) - 1000.0
+        assert t_hit < t_miss
+
+    def test_row_hit_ratio(self):
+        dram = make()
+        dram.access(0, now=0.0)
+        dram.access(0, now=100.0)
+        assert dram.row_hit_ratio() == pytest.approx(0.5)
+
+
+class TestBandwidth:
+    def test_back_to_back_requests_queue(self):
+        dram = make(rate=3200)
+        first = dram.access(0, now=0.0)
+        second = dram.access(0, now=0.0)   # same instant: queues behind
+        assert second > first - 100        # second starts later
+        assert dram.total_queue_cycles > 0
+
+    def test_cycles_per_transfer_scales_with_rate(self):
+        slow = DRAMConfig(transfer_rate_mts=400)
+        fast = DRAMConfig(transfer_rate_mts=6400)
+        assert slow.cycles_per_transfer == pytest.approx(
+            16 * fast.cycles_per_transfer)
+
+    def test_rate_3200_is_10_cycles_per_line(self):
+        # 64B per line, 3200 MT/s x 8B at a 4GHz core clock.
+        assert DRAMConfig(transfer_rate_mts=3200).cycles_per_transfer == \
+            pytest.approx(10.0)
+
+    def test_channels_split_load(self):
+        one = make(channels=1)
+        two = make(channels=2)
+        # Saturate with interleaved blocks; completion of the last request
+        # should be earlier with two channels.
+        last_one = max(one.access(b, now=0.0) for b in range(32))
+        last_two = max(two.access(b, now=0.0) for b in range(32))
+        assert last_two < last_one
+
+    def test_spaced_requests_do_not_queue(self):
+        dram = make()
+        dram.access(0, now=0.0)
+        dram.access(0, now=1000.0)
+        assert dram.total_queue_cycles == 0.0
+
+
+class TestAccounting:
+    def test_read_write_counters(self):
+        dram = make()
+        dram.access(0, now=0.0)
+        dram.access(1, now=0.0, is_write=True)
+        assert dram.reads == 1
+        assert dram.writes == 1
+
+    def test_writes_consume_bandwidth(self):
+        dram = make()
+        dram.access(0, now=0.0, is_write=True)
+        ready = dram.access(0, now=0.0)
+        assert ready > dram.config.row_hit_latency  # queued behind the write
+
+    def test_reset_stats(self):
+        dram = make()
+        dram.access(0, now=0.0)
+        dram.reset_stats()
+        assert dram.reads == 0
+        assert dram.row_misses == 0
+
+    def test_row_hit_ratio_empty(self):
+        assert make().row_hit_ratio() == 0.0

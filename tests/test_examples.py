@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs cleanly end to end.
+
+Examples are part of the public deliverable; these tests execute them as
+subprocesses (tiny access counts) and check for the expected headline
+output, so API drift cannot silently break them.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, env_extra=None):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLE_ACCESSES"] = "2000"
+    if env_extra:
+        env.update(env_extra)
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=300, env=env)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", "lbm", "2000")
+    assert "SPP variants" in out
+    assert "THP usage" in out
+
+
+def test_page_size_study():
+    out = run_example("page_size_study.py")
+    assert "THP usage over execution" in out
+    assert "speedup over no prefetching" in out
+
+
+def test_prefetcher_comparison():
+    out = run_example("prefetcher_comparison.py", "2000")
+    assert "Geomean speedup" in out
+    assert "BOP" in out
+
+
+def test_multicore_mix():
+    out = run_example("multicore_mix.py", "1500")
+    assert "Weighted speedup" in out
+
+
+def test_custom_prefetcher():
+    out = run_example("custom_prefetcher.py")
+    assert "custom prefetcher" in out
+    assert "psa-sd" in out

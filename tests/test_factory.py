@@ -1,0 +1,67 @@
+"""Tests for repro.core.factory — module construction."""
+
+import pytest
+
+from repro.core.composite import CompositePSAPrefetcher
+from repro.core.factory import PREFETCHERS, VARIANTS, make_l2_module
+from repro.core.psa import L2PrefetchModule, PSAPrefetchModule
+from repro.prefetch.base import ISSUER_PSA, ISSUER_PSA_2MB
+from repro.sim.config import DuelingConfig, SystemConfig
+
+
+CFG = SystemConfig()
+
+
+class TestVariants:
+    def test_none_is_stub(self):
+        module = make_l2_module("spp", "none", CFG)
+        assert type(module) is L2PrefetchModule
+
+    def test_original_mode(self):
+        module = make_l2_module("spp", "original", CFG)
+        assert isinstance(module, PSAPrefetchModule)
+        assert module.mode == "original"
+        assert module.prefetcher.region_bits == 12
+
+    def test_psa_mode(self):
+        module = make_l2_module("spp", "psa", CFG)
+        assert module.mode == "psa"
+        assert module.issuer == ISSUER_PSA
+        assert module.prefetcher.region_bits == 12
+
+    def test_psa_2mb_mode(self):
+        module = make_l2_module("spp", "psa-2mb", CFG)
+        assert module.mode == "psa"
+        assert module.issuer == ISSUER_PSA_2MB
+        assert module.prefetcher.region_bits == 21
+
+    def test_psa_sd_composite(self):
+        module = make_l2_module("spp", "psa-sd", CFG)
+        assert isinstance(module, CompositePSAPrefetcher)
+        assert module.selector.num_sets == CFG.l2c.sets
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError, match="variant"):
+            make_l2_module("spp", "psa-4mb", CFG)
+
+    def test_unknown_prefetcher(self):
+        with pytest.raises(ValueError, match="unknown prefetcher"):
+            make_l2_module("stride", "psa", CFG)
+
+
+class TestParameters:
+    @pytest.mark.parametrize("name", sorted(PREFETCHERS))
+    def test_all_prefetchers_buildable(self, name):
+        for variant in VARIANTS:
+            make_l2_module(name, variant, CFG)
+
+    def test_table_scale_passed(self):
+        half = make_l2_module("spp", "psa", CFG, table_scale=0.5)
+        full = make_l2_module("spp", "psa", CFG, table_scale=1.0)
+        assert half.storage_bits() < full.storage_bits()
+
+    def test_custom_dueling_config(self):
+        dueling = DuelingConfig(leader_sets=16, policy="standard")
+        module = make_l2_module("spp", "psa-sd", CFG, dueling=dueling)
+        assert module.config.policy == "standard"
+        assert module.selector.leader_counts() == (16, 16)

@@ -1,0 +1,148 @@
+"""Tests for repro.workloads.generators — synthetic pattern properties."""
+
+import pytest
+
+from repro.workloads import generators as gen
+from repro.workloads.trace import KIND_LOAD, KIND_STORE
+
+
+def blocks_of(records):
+    return [r[1] // 64 for r in records]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", sorted(gen.GENERATORS))
+    def test_same_seed_same_trace(self, kind):
+        a = gen.GENERATORS[kind](500, seed=7)
+        b = gen.GENERATORS[kind](500, seed=7)
+        assert a == b
+
+    @pytest.mark.parametrize("kind", sorted(gen.GENERATORS))
+    def test_different_seed_different_trace(self, kind):
+        a = gen.GENERATORS[kind](500, seed=7)
+        b = gen.GENERATORS[kind](500, seed=8)
+        assert a != b
+
+    @pytest.mark.parametrize("kind", sorted(gen.GENERATORS))
+    def test_requested_length(self, kind):
+        assert len(gen.GENERATORS[kind](321, seed=1)) == 321
+
+
+class TestRecordShape:
+    @pytest.mark.parametrize("kind", sorted(gen.GENERATORS))
+    def test_record_fields_valid(self, kind):
+        for ip, vaddr, rkind, bubble, dep in gen.GENERATORS[kind](300, seed=2):
+            assert ip > 0
+            assert vaddr >= 0
+            assert rkind in (KIND_LOAD, KIND_STORE)
+            assert bubble >= 0
+            assert isinstance(dep, bool)
+
+    def test_store_fraction_respected(self):
+        records = gen.gen_streaming(4000, seed=3, store_fraction=0.25)
+        stores = sum(1 for r in records if r[2] == KIND_STORE)
+        assert 0.18 < stores / len(records) < 0.32
+
+    def test_zero_bubble_mean(self):
+        records = gen.gen_streaming(100, seed=1, bubble_mean=0)
+        assert all(r[3] == 0 for r in records)
+
+
+class TestStreaming:
+    def test_per_stream_sequential(self):
+        streams = 4
+        records = gen.gen_streaming(400, seed=1, streams=streams)
+        per_stream = {}
+        for ip, vaddr, *_ in records:
+            per_stream.setdefault(ip, []).append(vaddr)
+        assert len(per_stream) == streams
+        for vaddrs in per_stream.values():
+            deltas = {b - a for a, b in zip(vaddrs, vaddrs[1:])}
+            assert deltas <= {64, 64 - min(deltas, default=64)} or \
+                all(d == 64 for d in list(deltas)[:1])
+
+    def test_streams_in_disjoint_arenas(self):
+        records = gen.gen_streaming(400, seed=1, streams=4)
+        arenas = {vaddr >> 32 for _, vaddr, *_ in records}
+        assert len(arenas) == 4
+
+
+class TestStrides:
+    def test_strided_delta(self):
+        records = gen.gen_strided(200, seed=1, stride_blocks=5, streams=1)
+        blocks = blocks_of(records)
+        deltas = {b - a for a, b in zip(blocks, blocks[1:])}
+        assert 5 in deltas
+
+    def test_wide_stride_validation(self):
+        with pytest.raises(ValueError):
+            gen.gen_wide_strided(10, seed=1, stride_blocks=64)
+
+    def test_wide_stride_crosses_4k_every_access(self):
+        records = gen.gen_wide_strided(100, seed=1, stride_blocks=96,
+                                       streams=1)
+        pages = [vaddr >> 12 for _, vaddr, *_ in records]
+        assert all(b != a for a, b in zip(pages, pages[1:]))
+
+    def test_wide_stride_stays_in_2m_mostly(self):
+        records = gen.gen_wide_strided(100, seed=1, stride_blocks=96,
+                                       streams=1)
+        regions = [vaddr >> 21 for _, vaddr, *_ in records]
+        same = sum(1 for a, b in zip(regions, regions[1:]) if a == b)
+        assert same / (len(regions) - 1) > 0.8
+
+
+class TestPointerChase:
+    def test_all_dependent(self):
+        records = gen.gen_pointer_chase(200, seed=1)
+        assert all(r[4] for r in records)
+
+    def test_addresses_spread(self):
+        records = gen.gen_pointer_chase(500, seed=1)
+        pages = {vaddr >> 12 for _, vaddr, *_ in records}
+        assert len(pages) > 300
+
+
+class TestGrain4k:
+    def test_pages_have_private_strides(self):
+        records = gen.gen_grain4k(2000, seed=1, regions=2, concurrency=2)
+        by_page = {}
+        for _, vaddr, *_ in records:
+            by_page.setdefault(vaddr >> 12, []).append((vaddr % 4096) // 64)
+        multi = 0
+        for offsets in by_page.values():
+            if len(offsets) < 4:
+                continue
+            deltas = {(b - a) % 64 for a, b in zip(offsets, offsets[1:])}
+            if len(deltas) == 1:
+                multi += 1
+        assert multi > 0
+
+    def test_concurrent_pages_interleaved(self):
+        records = gen.gen_grain4k(400, seed=1, regions=1, concurrency=4)
+        pages = [vaddr >> 12 for _, vaddr, *_ in records]
+        switches = sum(1 for a, b in zip(pages, pages[1:]) if a != b)
+        assert switches > len(pages) // 4
+
+
+class TestPhaseMix:
+    def test_phases_alternate(self):
+        records = gen.gen_phase_mix(8000, seed=1, phase_length=1000)
+        # Arena of sub-generator B is shifted by 16 << 32.
+        is_b = [vaddr >= (16 << 32) for _, vaddr, *_ in records]
+        transitions = sum(1 for a, b in zip(is_b, is_b[1:]) if a != b)
+        assert transitions >= 3
+
+    def test_disjoint_address_spaces(self):
+        records = gen.gen_phase_mix(4000, seed=1, phase_length=500)
+        a_pages = {v >> 12 for _, v, *_ in records if v < (16 << 32)}
+        b_pages = {v >> 12 for _, v, *_ in records if v >= (16 << 32)}
+        assert a_pages and b_pages and not (a_pages & b_pages)
+
+
+class TestMixed:
+    def test_contains_streaming_and_random(self):
+        records = gen.gen_mixed(2000, seed=1, stream_fraction=0.5)
+        ips = {ip for ip, *_ in records}
+        assert 0x460000 in ips          # random component
+        assert any(ip != 0x460000 for ip in ips)

@@ -1,0 +1,250 @@
+"""Tests for repro.memory.hierarchy — the full timing model and PPM wiring."""
+
+import pytest
+
+from repro.core.psa import PSAPrefetchModule
+from repro.memory.address import PAGE_SIZE_2M, PAGE_SIZE_4K
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.prefetch.base import L2Prefetcher
+from repro.sim.config import SystemConfig
+from repro.vm.allocator import PhysicalMemoryAllocator
+
+
+class ScriptedPrefetcher(L2Prefetcher):
+    """Emits configurable deltas and records the page-size bits it saw."""
+
+    name = "scripted"
+
+    def __init__(self, deltas=(), region_bits=12):
+        super().__init__(region_bits)
+        self.deltas = deltas
+        self.seen_bits = []
+        self.evicted_unused = []
+
+    def on_access(self, ctx):
+        self.seen_bits.append(ctx.page_size_bit)
+        for delta in self.deltas:
+            ctx.emit(ctx.block + delta)
+
+    def on_prefetch_evicted_unused(self, block):
+        self.evicted_unused.append(block)
+
+
+def build(thp=1.0, deltas=(), ppm=True, oracle=False, config=None):
+    config = config if config is not None else SystemConfig()
+    config.ppm_enabled = ppm
+    allocator = PhysicalMemoryAllocator(thp_fraction=thp)
+    prefetcher = ScriptedPrefetcher(deltas=deltas)
+    module = PSAPrefetchModule(prefetcher, mode="psa")
+    hierarchy = MemoryHierarchy(config, allocator, l2_module=module,
+                                oracle_page_size=oracle)
+    return hierarchy, prefetcher
+
+
+class TestDemandPath:
+    def test_cold_load_slower_than_warm(self):
+        hierarchy, _ = build()
+        cold = hierarchy.load(0x1000, 0x4, now=0.0)
+        warm = hierarchy.load(0x1000, 0x4, now=cold) - cold
+        assert warm < cold
+
+    def test_l1_hit_latency(self):
+        hierarchy, _ = build()
+        done = hierarchy.load(0x1000, 0x4, now=0.0)
+        t = done + 10_000.0    # far in the future: everything settled
+        assert hierarchy.load(0x1000, 0x4, now=t) == \
+            pytest.approx(t + hierarchy.l1d.latency)
+
+    def test_counts_loads_and_stores(self):
+        hierarchy, _ = build()
+        hierarchy.load(0x0, 0x4, now=0.0)
+        hierarchy.store(0x40, 0x4, now=0.0)
+        assert hierarchy.loads == 1
+        assert hierarchy.stores == 1
+
+    def test_store_marks_dirty(self):
+        hierarchy, _ = build()
+        hierarchy.store(0x1000, 0x4, now=0.0)
+        paddr, _ = hierarchy.allocator.translate(0x1000)
+        assert hierarchy.l1d.lookup(paddr >> 6).dirty
+
+    def test_mshr_merge_same_block(self):
+        hierarchy, _ = build()
+        first = hierarchy.load(0x2000, 0x4, now=0.0)
+        second = hierarchy.load(0x2000 + 8, 0x4, now=1.0)   # same block
+        assert second <= first + hierarchy.l1d.latency + 1
+        assert hierarchy.l1d.mshr.merges >= 1
+
+    def test_demand_misses_counted_at_each_level(self):
+        hierarchy, _ = build()
+        hierarchy.load(0x0, 0x4, now=0.0)
+        assert hierarchy.l1d.demand_misses == 1
+        assert hierarchy.l2c.demand_misses == 1
+        assert hierarchy.llc.demand_misses == 1
+        assert hierarchy.dram.reads >= 1
+
+
+class TestPPMWiring:
+    def test_page_size_bit_reaches_prefetcher_2m(self):
+        hierarchy, prefetcher = build(thp=1.0)
+        hierarchy.load(0x0, 0x4, now=0.0)
+        assert prefetcher.seen_bits == [PAGE_SIZE_2M]
+
+    def test_page_size_bit_reaches_prefetcher_4k(self):
+        hierarchy, prefetcher = build(thp=0.0)
+        hierarchy.load(0x0, 0x4, now=0.0)
+        assert prefetcher.seen_bits == [PAGE_SIZE_4K]
+
+    def test_ppm_disabled_delivers_none(self):
+        hierarchy, prefetcher = build(thp=1.0, ppm=False)
+        hierarchy.load(0x0, 0x4, now=0.0)
+        assert prefetcher.seen_bits == [None]
+
+    def test_oracle_equals_ppm(self):
+        """The 'magic' oracle and PPM deliver identical information —
+        the paper's SPP-PSA-Magic == SPP-PSA observation."""
+        h_ppm, p_ppm = build(thp=1.0, ppm=True, oracle=False)
+        h_magic, p_magic = build(thp=1.0, ppm=False, oracle=True)
+        for vaddr in (0x0, 0x40, 0x200000, 0x400000):
+            h_ppm.load(vaddr, 0x4, now=0.0)
+            h_magic.load(vaddr, 0x4, now=0.0)
+        assert p_ppm.seen_bits == p_magic.seen_bits
+
+    def test_bit_stored_in_l1d_mshr(self):
+        hierarchy, _ = build(thp=1.0)
+        hierarchy.load(0x0, 0x4, now=0.0)
+        paddr, _ = hierarchy.allocator.translate(0x0)
+        assert hierarchy.l1d.mshr.page_size_of(paddr >> 6) == PAGE_SIZE_2M
+
+
+class TestPrefetchIssue:
+    def test_prefetch_fills_l2(self):
+        hierarchy, _ = build(deltas=(1,))
+        hierarchy.load(0x0, 0x4, now=0.0)
+        paddr, _ = hierarchy.allocator.translate(0x0)
+        assert hierarchy.l2c.contains((paddr >> 6) + 1)
+        assert hierarchy.pf_issued_l2 == 1
+
+    def test_prefetched_block_speeds_up_demand(self):
+        hierarchy, _ = build(deltas=(1,))
+        done = hierarchy.load(0x0, 0x4, now=0.0)
+        t = done + 10_000.0
+        latency = hierarchy.load(0x40, 0x4, now=t) - t
+        # L1 miss, L2 hit on the prefetched line: far below DRAM latency.
+        assert latency < 50
+
+    def test_redundant_prefetch_dropped(self):
+        hierarchy, _ = build(deltas=(1, 2))
+        done = hierarchy.load(0x0, 0x4, now=0.0)   # prefetches blocks +1, +2
+        # Demanding block +1 proposes +2 and +3; +2 is already in the L2C.
+        hierarchy.load(0x40, 0x4, now=done + 10_000.0)
+        assert hierarchy.pf_redundant >= 1
+
+    def test_useful_prefetch_accounted(self):
+        hierarchy, _ = build(deltas=(1,))
+        done = hierarchy.load(0x0, 0x4, now=0.0)
+        hierarchy.load(0x40, 0x4, now=done + 10_000.0)
+        assert hierarchy.l2c.useful_prefetches == 1
+        assert hierarchy.l2_coverage() > 0
+
+    def test_unused_prefetch_eviction_feedback(self):
+        import dataclasses
+
+        from repro.sim.config import DuelingConfig
+        config = SystemConfig()
+        # Tiny L2 to force evictions quickly.
+        config.l2c = dataclasses.replace(config.l2c, size_bytes=4096, ways=1)
+        config.dueling = DuelingConfig(leader_sets=2)
+        hierarchy, prefetcher = build(deltas=(1,), config=config)
+        for i in range(0, 200):
+            hierarchy.load(i * 0x1000, 0x4, now=float(i) * 2000)
+        assert prefetcher.evicted_unused
+
+
+class TestWritebacks:
+    def test_dirty_eviction_reaches_dram(self):
+        import dataclasses
+
+        from repro.sim.config import DuelingConfig
+        config = SystemConfig()
+        config.l1d = dataclasses.replace(config.l1d, size_bytes=64 * 12)
+        config.l2c = dataclasses.replace(config.l2c, size_bytes=64 * 8,
+                                         ways=1)
+        config.llc = dataclasses.replace(config.llc, size_bytes=64 * 16)
+        config.dueling = DuelingConfig(leader_sets=2)
+        hierarchy, _ = build(config=config)
+        for i in range(400):
+            hierarchy.store(i * 0x1000, 0x4, now=float(i) * 3000)
+        assert hierarchy.dram.writes > 0
+
+
+class TestPageWalks:
+    def test_walk_traffic_counted(self):
+        hierarchy, _ = build(thp=0.0)
+        for i in range(50):
+            hierarchy.load(i * 0x200000, 0x4, now=float(i) * 5000)
+        assert hierarchy.walk_reads > 0
+        assert hierarchy.translator.walks > 0
+
+    def test_2m_pages_reduce_walk_reads(self):
+        h4, _ = build(thp=0.0)
+        h2, _ = build(thp=1.0)
+        for i in range(50):
+            h4.load(i * 0x200000, 0x4, now=float(i) * 5000)
+            h2.load(i * 0x200000, 0x4, now=float(i) * 5000)
+        assert h2.walk_reads < h4.walk_reads
+
+    def test_walk_does_not_train_prefetcher(self):
+        hierarchy, prefetcher = build(thp=0.0)
+        for i in range(50):
+            hierarchy.load(i * 0x200000, 0x4, now=float(i) * 5000)
+        # One prefetcher invocation per demand L2 access only.
+        assert len(prefetcher.seen_bits) == hierarchy.l2c.demand_accesses
+
+
+class TestMetricsHelpers:
+    def test_latency_averages_positive(self):
+        hierarchy, _ = build()
+        hierarchy.load(0x0, 0x4, now=0.0)
+        assert hierarchy.l2_avg_demand_latency() > 0
+        assert hierarchy.llc_avg_demand_latency() > 0
+
+    def test_zero_division_guards(self):
+        hierarchy, _ = build()
+        assert hierarchy.l2_coverage() == 0.0
+        assert hierarchy.l2_accuracy() == 0.0
+        assert hierarchy.llc_accuracy() == 0.0
+        assert hierarchy.l2_avg_demand_latency() == 0.0
+
+
+class TestResetStats:
+    def test_counters_zeroed_state_preserved(self):
+        hierarchy, prefetcher = build(deltas=(1,))
+        done = hierarchy.load(0x0, 0x4, now=0.0)
+        hierarchy.load(0x1000, 0x4, now=done)
+        assert hierarchy.l1d.demand_accesses > 0
+        resident_before = hierarchy.l1d.occupancy()
+        hierarchy.reset_stats()
+        assert hierarchy.l1d.demand_accesses == 0
+        assert hierarchy.l2c.demand_misses == 0
+        assert hierarchy.loads == 0
+        assert hierarchy.pf_issued_l2 == 0
+        assert hierarchy.dram.reads == 0
+        # Cache contents (warm state) survive the reset.
+        assert hierarchy.l1d.occupancy() == resident_before
+
+    def test_boundary_stats_zeroed(self):
+        hierarchy, _ = build(deltas=(70,), thp=1.0)
+        hierarchy.load(0x0, 0x4, now=0.0)
+        assert hierarchy.l2_module.stats.proposed > 0
+        hierarchy.reset_stats()
+        assert hierarchy.l2_module.stats.proposed == 0
+
+    def test_warm_state_after_reset_still_hits(self):
+        hierarchy, _ = build()
+        done = hierarchy.load(0x2000, 0x4, now=0.0)
+        hierarchy.reset_stats()
+        t = done + 10_000.0
+        latency = hierarchy.load(0x2000, 0x4, now=t) - t
+        assert latency <= hierarchy.l1d.latency + 1e-9
+        assert hierarchy.l1d.demand_hits == 1

@@ -1,0 +1,126 @@
+"""Integration tests asserting the paper's qualitative results.
+
+These run real (tiny-scale) simulations and check the *shape* of the
+paper's findings — who wins, in which direction — not absolute numbers.
+Each test names the paper artifact it guards.
+"""
+
+import pytest
+
+from repro.sim.runner import clear_cache, run, speedup
+
+N = 8000
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestFig4PSAWins:
+    def test_psa_beats_original_on_streaming_high_thp(self):
+        """lbm-class workloads: crossing 4KB inside 2MB pages pays."""
+        assert speedup("lbm", "spp", "psa", n_accesses=N) > 1.03
+
+    def test_psa_nearly_neutral_on_low_thp(self):
+        """soplex: few 2MB pages, PSA ~ original (paper Figs. 4/8); the
+        residual gain must be far below the high-THP streaming gain."""
+        soplex = speedup("soplex", "spp", "psa", n_accesses=N)
+        lbm = speedup("lbm", "spp", "psa", n_accesses=N)
+        assert soplex == pytest.approx(1.0, abs=0.04)
+        assert soplex - 1.0 < 0.55 * (lbm - 1.0)
+
+    def test_prefetching_beats_no_prefetching(self):
+        base = run("lbm", "spp", "none", n_accesses=N)
+        spp = run("lbm", "spp", "original", n_accesses=N)
+        assert spp.ipc > 1.2 * base.ipc
+
+
+class TestFig5PSA2MBBimodal:
+    def test_wide_strides_need_2mb_indexing(self):
+        """milc: PSA-2MB >> PSA ~ original (paper Fig. 5 / Section III-C)."""
+        psa = speedup("milc", "spp", "psa", n_accesses=N)
+        psa2 = speedup("milc", "spp", "psa-2mb", n_accesses=N)
+        assert psa2 > 1.15
+        assert psa2 > psa + 0.10
+
+    def test_grain4k_punishes_2mb_indexing(self):
+        """tc.road-class: 2MB indexing generalises erroneously (Fig. 8)."""
+        psa2 = speedup("tc.road", "spp", "psa-2mb", n_accesses=N)
+        assert psa2 < 0.99
+
+    def test_sd_protects_against_bad_2mb(self):
+        """PSA-SD must not inherit PSA-2MB's losses (Fig. 8)."""
+        psa2 = speedup("pr.road", "spp", "psa-2mb", n_accesses=N)
+        sd = speedup("pr.road", "spp", "psa-sd", n_accesses=N)
+        assert sd > psa2
+        assert sd > 0.97
+
+    def test_sd_captures_good_2mb(self):
+        """PSA-SD must track PSA-2MB's wins on milc-class workloads."""
+        psa2 = speedup("milc", "spp", "psa-2mb", n_accesses=N)
+        sd = speedup("milc", "spp", "psa-sd", n_accesses=N)
+        assert sd > 1.0 + 0.6 * (psa2 - 1.0)
+
+
+class TestFig2Opportunity:
+    def test_discard_probability_meaningful_range(self):
+        """Fig. 2: for most workloads ~1/10 prefetches are discarded at a
+        4KB boundary while the block sits in a 2MB page."""
+        metrics = run("lbm", "spp", "original", n_accesses=N)
+        prob = metrics.boundary.discard_probability_in_2m()
+        assert 0.005 < prob < 0.6
+
+
+class TestFig10Sources:
+    def test_psa_improves_stalls_or_coverage(self):
+        psa = run("lbm", "spp", "psa", n_accesses=N)
+        orig = run("lbm", "spp", "original", n_accesses=N)
+        improved_coverage = psa.l2_coverage > orig.l2_coverage
+        improved_stalls = psa.stalls_per_access < orig.stalls_per_access
+        assert improved_coverage or improved_stalls
+
+
+class TestFig9OtherPrefetchers:
+    @pytest.mark.parametrize("prefetcher", ["vldp", "bop"])
+    def test_psa_helps_streaming_for_all(self, prefetcher):
+        assert speedup("lbm", prefetcher, "psa", n_accesses=N) > 1.02
+
+    def test_bop_variants_identical(self):
+        psa = run("lbm", "bop", "psa", n_accesses=N)
+        psa2 = run("lbm", "bop", "psa-2mb", n_accesses=N)
+        sd = run("lbm", "bop", "psa-sd", n_accesses=N)
+        assert psa.ipc == pytest.approx(psa2.ipc)
+        assert psa.ipc == pytest.approx(sd.ipc, rel=0.02)
+
+
+class TestFig12Constrained:
+    def test_psa_gain_vs_mshr_size(self):
+        """Fig. 12A: gains are large at the default 32-entry MSHR and
+        compressed (but not harmful) at 8 entries.  Known deviation: the
+        paper reports +4.6% at 8 entries, our MLP-bound model gives ~0
+        (EXPERIMENTS.md)."""
+        from repro.sim.config import SystemConfig
+        small = speedup("lbm", "spp", "psa",
+                        config=SystemConfig().scaled_l2c_mshr(8),
+                        n_accesses=N)
+        default = speedup("lbm", "spp", "psa", n_accesses=N)
+        assert small > 0.97
+        assert default > small
+
+    def test_low_bandwidth_lowers_absolute_ipc(self):
+        from repro.sim.config import SystemConfig
+        slow = run("lbm", "spp", "psa",
+                   config=SystemConfig().scaled_dram(400), n_accesses=N)
+        fast = run("lbm", "spp", "psa",
+                   config=SystemConfig().scaled_dram(6400), n_accesses=N)
+        assert slow.ipc < fast.ipc
+
+
+class TestNonIntensive:
+    def test_no_harm_on_cache_resident_workload(self):
+        """Section VI-B1: proposals must not hurt non-intensive workloads."""
+        value = speedup("povray", "spp", "psa-sd", n_accesses=N)
+        assert value > 0.97

@@ -1,0 +1,90 @@
+"""Tests for the LLC-prefetcher consumer of PPM's propagated bit
+(paper Section IV-A, "Applicability on LLC Prefetching")."""
+
+import pytest
+
+from repro.core.factory import make_l2_module
+from repro.cpu.core import Core
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.config import SystemConfig
+from repro.vm.allocator import PhysicalMemoryAllocator
+from repro.workloads.suites import catalog
+
+
+def build(llc_variant="psa", ppm_to_llc=True, thp=1.0):
+    config = SystemConfig()
+    config.ppm_to_llc = ppm_to_llc
+    allocator = PhysicalMemoryAllocator(thp_fraction=thp, seed=2)
+    llc_module = make_l2_module("spp", llc_variant, config)
+    hierarchy = MemoryHierarchy(config, allocator, llc_module=llc_module)
+    return config, hierarchy, llc_module
+
+
+def run_stream(hierarchy, config, n=3000):
+    trace = catalog()["lbm"].generate(n)
+    core = Core(hierarchy, config.rob_entries, config.fetch_width)
+    return core.run(trace, warmup_records=n // 2)
+
+
+class TestEngagement:
+    def test_llc_module_sees_l2_misses_only(self):
+        config, hierarchy, module = build()
+        run_stream(hierarchy, config)
+        # Fewer LLC-module invocations than L1 misses (only L2 misses).
+        assert module.stats.proposed > 0
+
+    def test_llc_prefetches_fill_llc(self):
+        config, hierarchy, _ = build()
+        run_stream(hierarchy, config)
+        assert hierarchy.pf_issued_llc > 0
+        assert hierarchy.llc.prefetch_fills > 0
+
+    def test_llc_useful_prefetches_counted(self):
+        config, hierarchy, _ = build()
+        run_stream(hierarchy, config)
+        assert hierarchy.llc.useful_prefetches > 0
+        assert hierarchy.llc_coverage() > 0
+
+
+class TestBitPropagation:
+    def test_bit_reaches_llc_prefetcher_when_enabled(self):
+        config, hierarchy, module = build(ppm_to_llc=True, thp=1.0)
+        run_stream(hierarchy, config)
+        # 2MB-backed stream + propagated bit: crossing opportunities are
+        # taken rather than discarded.
+        assert module.stats.discarded_cross_4k_in_2m == 0
+
+    def test_bit_absent_when_disabled(self):
+        config, hierarchy, module = build(ppm_to_llc=False, thp=1.0)
+        run_stream(hierarchy, config)
+        # Without propagation the LLC PSA module must behave like the
+        # original: crossing candidates are discarded as missed
+        # opportunities.
+        assert module.stats.discarded_cross_4k_in_2m > 0
+
+    def test_llc_prefetching_improves_ipc(self):
+        config_off = SystemConfig()
+        allocator = PhysicalMemoryAllocator(thp_fraction=1.0, seed=2)
+        hierarchy_off = MemoryHierarchy(config_off, allocator)
+        base = run_stream(hierarchy_off, config_off)
+        config_on, hierarchy_on, _ = build()
+        with_llc = run_stream(hierarchy_on, config_on)
+        assert with_llc.ipc > base.ipc
+
+
+class TestSimulatorPlumbing:
+    def test_build_hierarchy_llc_prefetcher(self):
+        from repro.sim.simulator import build_hierarchy
+        config = SystemConfig()
+        config.ppm_to_llc = True
+        trace = catalog()["lbm"].generate(100)
+        hierarchy, _ = build_hierarchy(trace, config, "spp", "none",
+                                       llc_prefetcher="spp",
+                                       llc_variant="psa")
+        assert hierarchy.llc_module is not None
+
+    def test_default_no_llc_module(self):
+        from repro.sim.simulator import build_hierarchy
+        trace = catalog()["lbm"].generate(100)
+        hierarchy, _ = build_hierarchy(trace, SystemConfig(), "spp", "psa")
+        assert hierarchy.llc_module is None

@@ -1,0 +1,118 @@
+"""Tests for repro.memory.mshr — in-flight miss tracking and PPM bits."""
+
+import pytest
+
+from repro.memory.mshr import MSHR
+
+
+def make(capacity=4):
+    return MSHR("test", capacity)
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MSHR("bad", 0)
+
+    def test_lookup_miss(self):
+        assert make().lookup(1, now=0.0) is None
+
+    def test_insert_then_lookup_merges(self):
+        mshr = make()
+        mshr.insert(1, ready=100.0)
+        entry = mshr.lookup(1, now=10.0)
+        assert entry == (100.0, 0)
+        assert mshr.merges == 1
+
+    def test_expired_entry_not_returned(self):
+        mshr = make()
+        mshr.insert(1, ready=100.0)
+        assert mshr.lookup(1, now=100.0) is None
+        assert mshr.lookup(1, now=150.0) is None
+
+    def test_contains_does_not_count_merge(self):
+        mshr = make()
+        mshr.insert(1, ready=100.0)
+        assert mshr.contains(1, now=50.0)
+        assert mshr.merges == 0
+
+    def test_contains_expires(self):
+        mshr = make()
+        mshr.insert(1, ready=100.0)
+        assert not mshr.contains(1, now=200.0)
+        assert len(mshr) == 0
+
+
+class TestCapacity:
+    def test_is_full(self):
+        mshr = make(capacity=2)
+        mshr.insert(1, ready=100.0)
+        mshr.insert(2, ready=200.0)
+        assert mshr.is_full(now=0.0)
+
+    def test_full_after_expiry_is_not_full(self):
+        mshr = make(capacity=2)
+        mshr.insert(1, ready=100.0)
+        mshr.insert(2, ready=200.0)
+        assert not mshr.is_full(now=150.0)   # entry 1 has completed
+
+    def test_stall_until_free_returns_now_when_space(self):
+        mshr = make(capacity=2)
+        mshr.insert(1, ready=100.0)
+        assert mshr.stall_until_free(now=5.0) == 5.0
+        assert mshr.stalls == 0
+
+    def test_stall_until_free_waits_for_earliest(self):
+        mshr = make(capacity=2)
+        mshr.insert(1, ready=100.0)
+        mshr.insert(2, ready=200.0)
+        assert mshr.stall_until_free(now=5.0) == 100.0
+        assert mshr.stalls == 1
+
+    def test_insert_into_full_raises(self):
+        mshr = make(capacity=1)
+        mshr.insert(1, ready=100.0)
+        with pytest.raises(RuntimeError):
+            mshr.insert(2, ready=50.0)
+
+    def test_insert_expires_completed_entries(self):
+        mshr = make(capacity=1)
+        mshr.insert(1, ready=100.0)
+        # At ready=150 the previous entry has completed; room exists.
+        mshr.insert(2, ready=150.0)
+        assert mshr.contains(2, now=120.0)
+
+    def test_earliest_ready_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            make().earliest_ready()
+
+
+class TestPageSizeBit:
+    """PPM stores the page-size bit in the MSHR entry (paper Section IV-A)."""
+
+    def test_page_size_stored(self):
+        mshr = make()
+        mshr.insert(7, ready=50.0, page_size=1)
+        assert mshr.page_size_of(7) == 1
+
+    def test_page_size_default_zero(self):
+        mshr = make()
+        mshr.insert(7, ready=50.0)
+        assert mshr.page_size_of(7) == 0
+
+    def test_page_size_of_absent_block(self):
+        assert make().page_size_of(9) is None
+
+    def test_lookup_returns_page_size(self):
+        mshr = make()
+        mshr.insert(3, ready=80.0, page_size=1)
+        assert mshr.lookup(3, now=0.0) == (80.0, 1)
+
+
+def test_reset_stats():
+    mshr = make(capacity=1)
+    mshr.insert(1, ready=100.0)
+    mshr.lookup(1, now=0.0)
+    mshr.stall_until_free(now=0.0)
+    mshr.reset_stats()
+    assert mshr.stalls == mshr.merges == mshr.inserts == 0

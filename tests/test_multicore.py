@@ -1,0 +1,101 @@
+"""Tests for repro.sim.multicore — shared-LLC/DRAM mixes."""
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.multicore import (
+    MixResult,
+    generate_mixes,
+    isolation_ipcs,
+    multicore_config,
+    simulate_mix,
+)
+from repro.workloads.suites import catalog
+
+N = 2000
+
+
+class TestConfigScaling:
+    def test_llc_scales_with_cores(self):
+        base = SystemConfig()
+        cfg = multicore_config(base, 4)
+        assert cfg.llc.size_bytes == 4 * base.llc.size_bytes
+
+    def test_dram_enlarged(self):
+        cfg = multicore_config(SystemConfig(), 4)
+        assert cfg.dram.size_bytes == 32 << 30
+        assert cfg.dram.channels >= 4
+
+    def test_same_dram_for_4_and_8_cores(self):
+        """Table I / Section VI-C: identical DRAM for both core counts."""
+        cfg4 = multicore_config(SystemConfig(), 4)
+        cfg8 = multicore_config(SystemConfig(), 8)
+        assert cfg4.dram == cfg8.dram
+
+    def test_base_unmodified(self):
+        base = SystemConfig()
+        multicore_config(base, 8)
+        assert base.llc.size_bytes == 2 << 20
+
+
+class TestMixGeneration:
+    def test_count_and_width(self):
+        mixes = generate_mixes(5, 4)
+        assert len(mixes) == 5
+        assert all(len(m) == 4 for m in mixes)
+
+    def test_deterministic(self):
+        a = [[s.name for s in m] for m in generate_mixes(3, 4, seed=1)]
+        b = [[s.name for s in m] for m in generate_mixes(3, 4, seed=1)]
+        assert a == b
+
+    def test_drawn_from_catalog(self):
+        names = set(catalog())
+        for mix in generate_mixes(3, 8):
+            assert all(s.name in names for s in mix)
+
+
+class TestSimulateMix:
+    def test_runs_and_reports_per_core(self):
+        cfg = multicore_config(SystemConfig(), 2)
+        specs = [catalog()["lbm"], catalog()["mcf"]]
+        result = simulate_mix(specs, cfg, "spp", "psa", n_accesses=N)
+        assert len(result.ipcs) == 2
+        assert all(ipc > 0 for ipc in result.ipcs)
+        assert result.workloads == ["lbm", "mcf"]
+
+    def test_contention_lowers_ipc(self):
+        cfg = multicore_config(SystemConfig(), 2)
+        specs = [catalog()["lbm"], catalog()["lbm"]]
+        iso = isolation_ipcs([catalog()["lbm"]], cfg, "spp", "none",
+                             n_accesses=N)[0]
+        mixed = simulate_mix(specs, cfg, "spp", "none", n_accesses=N)
+        assert max(mixed.ipcs) <= iso * 1.05
+
+    def test_deterministic(self):
+        cfg = multicore_config(SystemConfig(), 2)
+        specs = [catalog()["lbm"], catalog()["milc"]]
+        a = simulate_mix(specs, cfg, "spp", "psa", n_accesses=N)
+        b = simulate_mix(specs, cfg, "spp", "psa", n_accesses=N)
+        assert a.ipcs == b.ipcs
+
+
+class TestWeightedIPC:
+    def test_weighted_ipc_formula(self):
+        result = MixResult(workloads=["a", "b"], ipcs=[1.0, 2.0])
+        assert result.weighted_ipc([2.0, 2.0]) == pytest.approx(1.5)
+
+    def test_zero_isolation_guard(self):
+        result = MixResult(workloads=["a"], ipcs=[1.0])
+        assert result.weighted_ipc([0.0]) == 0.0
+
+    def test_isolation_cache_used(self):
+        cfg = multicore_config(SystemConfig(), 2)
+        cache = {}
+        specs = [catalog()["lbm"]]
+        first = isolation_ipcs(specs, cfg, "spp", "none", n_accesses=N,
+                               cache=cache)
+        assert cache
+        second = isolation_ipcs(specs, cfg, "spp", "none", n_accesses=N,
+                                cache=cache)
+        assert first == second

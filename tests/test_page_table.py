@@ -1,0 +1,71 @@
+"""Tests for repro.vm.page_table — radix page table structure."""
+
+from repro.memory.address import PAGE_SIZE_2M, PAGE_SIZE_4K
+from repro.vm.page_table import LEVEL_SHIFTS, PTE_BYTES, PageTable
+
+
+class TestWalkAddresses:
+    def test_4k_walk_has_four_levels(self):
+        pt = PageTable()
+        assert len(pt.walk_addresses(0x1234_5000, PAGE_SIZE_4K)) == 4
+
+    def test_2m_walk_has_three_levels(self):
+        pt = PageTable()
+        assert len(pt.walk_addresses(0x1234_5000, PAGE_SIZE_2M)) == 3
+
+    def test_start_level_skips_upper_reads(self):
+        pt = PageTable()
+        full = pt.walk_addresses(0x5000_0000, PAGE_SIZE_4K, start_level=0)
+        partial = pt.walk_addresses(0x5000_0000, PAGE_SIZE_4K, start_level=2)
+        assert partial == full[2:]
+
+    def test_walk_addresses_deterministic(self):
+        pt = PageTable()
+        a = pt.walk_addresses(0x7777_7000, PAGE_SIZE_4K)
+        b = pt.walk_addresses(0x7777_7000, PAGE_SIZE_4K)
+        assert a == b
+
+    def test_same_2m_region_shares_upper_levels(self):
+        pt = PageTable()
+        a = pt.walk_addresses(0x4000_0000, PAGE_SIZE_4K)
+        b = pt.walk_addresses(0x4000_0000 + 4096, PAGE_SIZE_4K)
+        assert a[:3] == b[:3]       # PML4E, PDPTE, PDE identical
+        assert a[3] != b[3]         # leaf PTEs differ
+
+    def test_distant_addresses_diverge_at_top(self):
+        pt = PageTable()
+        a = pt.walk_addresses(0, PAGE_SIZE_4K)
+        b = pt.walk_addresses(1 << LEVEL_SHIFTS[0], PAGE_SIZE_4K)
+        assert a[0] != b[0]
+
+    def test_pte_addresses_8_byte_aligned(self):
+        pt = PageTable()
+        for pte in pt.walk_addresses(0x0123_4567_8000, PAGE_SIZE_4K):
+            assert pte % PTE_BYTES == 0
+
+
+class TestNodes:
+    def test_nodes_allocated_on_demand(self):
+        pt = PageTable()
+        before = pt.node_count()
+        pt.walk_addresses(0x9999_9000, PAGE_SIZE_4K)
+        assert pt.node_count() > before
+
+    def test_nodes_reused_for_same_subtree(self):
+        pt = PageTable()
+        pt.walk_addresses(0x4000_0000, PAGE_SIZE_4K)
+        count = pt.node_count()
+        pt.walk_addresses(0x4000_0000 + 8192, PAGE_SIZE_4K)
+        assert pt.node_count() == count
+
+    def test_node_frames_distinct(self):
+        pt = PageTable()
+        for i in range(32):
+            pt.walk_addresses(i << LEVEL_SHIFTS[1], PAGE_SIZE_4K)
+        frames = set(pt._node_frame.values())
+        assert len(frames) == pt.node_count()
+
+    def test_custom_node_base(self):
+        pt = PageTable(node_frame_base=0x8_0000)
+        pte = pt.walk_addresses(0, PAGE_SIZE_4K)[0]
+        assert pte >> 12 >= 0x8_0000

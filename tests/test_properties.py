@@ -1,0 +1,114 @@
+"""Property-based tests of whole-hierarchy invariants (hypothesis).
+
+These drive the full memory hierarchy with random access sequences and
+check invariants that must hold regardless of pattern, page sizes, or
+prefetching variant.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.factory import make_l2_module
+from repro.cpu.core import Core
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.config import SystemConfig
+from repro.vm.allocator import PhysicalMemoryAllocator
+from repro.workloads.trace import KIND_LOAD, KIND_STORE, Trace
+
+CONFIG = SystemConfig()
+
+access_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=(1 << 28)),   # vaddr
+        st.booleans(),                                   # is store
+    ),
+    min_size=1, max_size=120)
+
+
+def build(variant="psa", thp=0.9):
+    allocator = PhysicalMemoryAllocator(thp_fraction=thp, seed=3)
+    module = make_l2_module("spp", variant, CONFIG)
+    return MemoryHierarchy(CONFIG, allocator, l2_module=module)
+
+
+@settings(max_examples=25, deadline=None)
+@given(access_lists, st.sampled_from(["none", "original", "psa", "psa-sd"]))
+def test_ready_never_before_request(accesses, variant):
+    """Data can never be ready before the request was made."""
+    hierarchy = build(variant)
+    now = 0.0
+    for vaddr, is_store in accesses:
+        if is_store:
+            hierarchy.store(vaddr, 0x4, now)
+        else:
+            ready = hierarchy.load(vaddr, 0x4, now)
+            assert ready >= now
+        now += 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(access_lists, st.floats(min_value=0.0, max_value=1.0))
+def test_accounting_identities(accesses, thp):
+    """Hits + misses == accesses at every level; coverage/accuracy in
+    [0, 1]; prefetch issue counters are consistent."""
+    hierarchy = build("psa", thp=thp)
+    now = 0.0
+    for vaddr, is_store in accesses:
+        if is_store:
+            hierarchy.store(vaddr, 0x4, now)
+        else:
+            hierarchy.load(vaddr, 0x4, now)
+        now += 50.0
+    for cache in (hierarchy.l1d, hierarchy.l2c, hierarchy.llc):
+        assert cache.demand_hits + cache.demand_misses == cache.demand_accesses
+        assert cache.useful_prefetches <= cache.demand_hits
+    assert 0.0 <= hierarchy.l2_coverage() <= 1.0
+    assert 0.0 <= hierarchy.l2_accuracy() <= 1.0
+    assert hierarchy.l2c.useful_prefetches <= hierarchy.pf_issued_l2 + \
+        hierarchy.pf_issued_llc + hierarchy.l1_pf_issued
+
+
+@settings(max_examples=25, deadline=None)
+@given(access_lists)
+def test_repeated_access_is_fast(accesses):
+    """Immediately re-loading the same address far in the future is an
+    L1 hit with the L1 latency."""
+    hierarchy = build()
+    now = 0.0
+    for vaddr, _ in accesses:
+        done = hierarchy.load(vaddr, 0x4, now)
+        later = done + 100_000.0
+        again = hierarchy.load(vaddr, 0x4, later)
+        assert again - later <= hierarchy.l1d.latency + 1e-9
+        now = later + 10.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(access_lists)
+def test_core_determinism(accesses):
+    """Two identical runs produce bit-identical results."""
+    def run():
+        hierarchy = build()
+        core = Core(hierarchy, CONFIG.rob_entries, CONFIG.fetch_width)
+        records = [(0x4, vaddr, KIND_STORE if s else KIND_LOAD, 2, False)
+                   for vaddr, s in accesses]
+        return core.run(Trace("t", records))
+    a = run()
+    b = run()
+    assert a.cycles == b.cycles
+    assert a.instructions == b.instructions
+
+
+@settings(max_examples=15, deadline=None)
+@given(access_lists)
+def test_translation_consistency_under_load(accesses):
+    """The hierarchy and a fresh allocator agree on every translation
+    (the hierarchy never corrupts the VM mapping)."""
+    hierarchy = build()
+    reference = PhysicalMemoryAllocator(thp_fraction=0.9, seed=3)
+    now = 0.0
+    for vaddr, _ in accesses:
+        hierarchy.load(vaddr, 0x4, now)
+        now += 10.0
+    for vaddr, _ in accesses:
+        assert hierarchy.allocator.translate(vaddr) == \
+            reference.translate(vaddr)

@@ -1,0 +1,72 @@
+"""Tests for repro.analysis.report — text rendering."""
+
+from repro.analysis.report import (
+    format_series,
+    format_speedup_rows,
+    format_table,
+    sparkline,
+)
+
+
+class TestFormatTable:
+    def test_headers_and_rows(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["b", 2.0]])
+        lines = text.splitlines()
+        assert "name" in lines[0]
+        assert "1.500" in text
+        assert "2.000" in text
+
+    def test_title(self):
+        text = format_table(["x"], [["y"]], title="Figure 9")
+        assert text.startswith("Figure 9\n========")
+
+    def test_column_alignment(self):
+        text = format_table(["workload", "speedup"],
+                            [["a-long-name", 1.0], ["b", 22.5]])
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[1])
+
+    def test_integers_not_decimalised(self):
+        text = format_table(["n"], [[42]])
+        assert "42" in text
+        assert "42.000" not in text
+
+
+class TestSpeedupRows:
+    def test_percent_conversion(self):
+        rows = format_speedup_rows({"w": 1.05})
+        assert rows == [["w", 5.000000000000004]] or \
+            abs(rows[0][1] - 5.0) < 1e-9
+
+    def test_sorted_by_name(self):
+        rows = format_speedup_rows({"b": 1.0, "a": 1.0})
+        assert [r[0] for r in rows] == ["a", "b"]
+
+    def test_raw_mode(self):
+        rows = format_speedup_rows({"w": 1.05}, percent=False)
+        assert abs(rows[0][1] - 1.05) < 1e-9
+
+
+class TestSeries:
+    def test_labelled_columns(self):
+        text = format_series("Sweep", [8, 16], [1.0, 2.0],
+                             x_label="mshr", y_label="speedup")
+        assert "mshr" in text
+        assert "Sweep" in text
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_capped(self):
+        assert len(sparkline(list(range(1000)), width=40)) <= 40
+
+    def test_flat_series(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(set(line)) == 1
+
+    def test_rising_series_ends_high(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert line[0] == " "
+        assert line[-1] == "@"

@@ -1,0 +1,80 @@
+"""Tests for repro.sim.runner — memoised experiment running."""
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.runner import (
+    clear_cache,
+    pair_metrics,
+    run,
+    speedup,
+    speedups_over_baseline,
+    variant_sweep,
+)
+
+N = 3000
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestCaching:
+    def test_cache_returns_same_object(self):
+        a = run("lbm", "spp", "psa", n_accesses=N)
+        b = run("lbm", "spp", "psa", n_accesses=N)
+        assert a is b
+
+    def test_cache_respects_variant(self):
+        a = run("lbm", "spp", "psa", n_accesses=N)
+        b = run("lbm", "spp", "original", n_accesses=N)
+        assert a is not b
+
+    def test_cache_respects_config(self):
+        a = run("lbm", "spp", "psa", n_accesses=N)
+        b = run("lbm", "spp", "psa", n_accesses=N,
+                config=SystemConfig().scaled_dram(400))
+        assert a is not b
+        assert a.ipc != b.ipc
+
+    def test_cache_disabled(self):
+        a = run("lbm", "spp", "psa", n_accesses=N, use_cache=False)
+        b = run("lbm", "spp", "psa", n_accesses=N, use_cache=False)
+        assert a is not b
+        assert a.ipc == b.ipc   # still deterministic
+
+
+class TestSpeedups:
+    def test_speedup_over_original(self):
+        value = speedup("lbm", "spp", "psa", n_accesses=N)
+        assert value > 1.0
+
+    def test_speedup_of_baseline_is_one(self):
+        assert speedup("lbm", "spp", "original",
+                       n_accesses=N) == pytest.approx(1.0)
+
+    def test_cross_prefetcher_baseline(self):
+        value = speedup("lbm", "spp", "none",
+                        baseline_prefetcher="spp",
+                        baseline_variant="none", n_accesses=N)
+        assert value == pytest.approx(1.0)
+
+    def test_speedups_over_baseline_bulk(self):
+        values = speedups_over_baseline(["lbm", "milc"], "spp", "psa",
+                                        n_accesses=N)
+        assert set(values) == {"lbm", "milc"}
+
+    def test_variant_sweep_shape(self):
+        sweep = variant_sweep(["lbm"], "spp", ["psa", "psa-2mb"],
+                              n_accesses=N)
+        assert set(sweep) == {"psa", "psa-2mb"}
+        assert set(sweep["psa"]) == {"lbm"}
+
+    def test_pair_metrics(self):
+        target, base = pair_metrics("lbm", "spp", "psa", n_accesses=N)
+        assert target.variant == "psa"
+        assert base.variant == "original"
+        assert target.workload == base.workload

@@ -1,0 +1,134 @@
+"""Tests for repro.core.set_dueling — the Csel selector."""
+
+import pytest
+
+from repro.core.set_dueling import (
+    ROLE_FOLLOWER,
+    ROLE_PSA_2MB_LEADER,
+    ROLE_PSA_LEADER,
+    SetDuelingSelector,
+)
+from repro.prefetch.base import ISSUER_PSA, ISSUER_PSA_2MB
+from repro.sim.config import DuelingConfig
+
+
+def make(num_sets=1024, leader_sets=32, csel_bits=3):
+    return SetDuelingSelector(
+        num_sets, DuelingConfig(leader_sets=leader_sets, csel_bits=csel_bits))
+
+
+class TestLeaderAssignment:
+    def test_exact_leader_counts(self):
+        """Table I: 32 leader sets per competing prefetcher."""
+        assert make().leader_counts() == (32, 32)
+
+    def test_roles_partition_sets(self):
+        selector = make()
+        roles = [selector.role_of_set(s) for s in range(1024)]
+        assert roles.count(ROLE_PSA_LEADER) == 32
+        assert roles.count(ROLE_PSA_2MB_LEADER) == 32
+        assert roles.count(ROLE_FOLLOWER) == 1024 - 64
+
+    def test_leaders_not_contiguous(self):
+        """Hash spreading: strided patterns must not align with leaders."""
+        selector = make()
+        psa_leaders = [s for s in range(1024)
+                       if selector.role_of_set(s) == ROLE_PSA_LEADER]
+        strides = {b - a for a, b in zip(psa_leaders, psa_leaders[1:])}
+        assert len(strides) > 1
+
+    def test_power_of_two_stride_hits_both_leader_kinds(self):
+        """The milc failure mode: stride-32 set visits must still sample
+        both leader kinds (regression test for phase-aligned leaders)."""
+        selector = make()
+        visited = {(s * 32) % 1024 for s in range(64)}
+        roles = {selector.role_of_set(s) for s in visited}
+        assert ROLE_FOLLOWER in roles
+        assert not (roles == {ROLE_PSA_LEADER})
+
+    def test_too_few_sets_rejected(self):
+        with pytest.raises(ValueError):
+            make(num_sets=32, leader_sets=32)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            make(num_sets=1000)
+
+
+class TestSelection:
+    def test_leader_sets_fixed_selection(self):
+        selector = make()
+        for s in range(1024):
+            role = selector.role_of_set(s)
+            selected = selector.selected_for(s)
+            if role == ROLE_PSA_LEADER:
+                assert selected == ISSUER_PSA
+            elif role == ROLE_PSA_2MB_LEADER:
+                assert selected == ISSUER_PSA_2MB
+
+    def test_follower_uses_msb(self):
+        selector = make(csel_bits=3)
+        follower = next(s for s in range(1024)
+                        if selector.role_of_set(s) == ROLE_FOLLOWER)
+        selector.csel = 3     # MSB(011) = 0
+        assert selector.selected_for(follower) == ISSUER_PSA
+        selector.csel = 4     # MSB(100) = 1
+        assert selector.selected_for(follower) == ISSUER_PSA_2MB
+
+    def test_initial_selection_is_psa(self):
+        selector = make()
+        follower = next(s for s in range(1024)
+                        if selector.role_of_set(s) == ROLE_FOLLOWER)
+        assert selector.selected_for(follower) == ISSUER_PSA
+
+
+class TestCselUpdates:
+    def test_psa_2mb_useful_increments(self):
+        selector = make()
+        selector.on_useful(ISSUER_PSA_2MB)
+        assert selector.csel == 1
+        assert selector.updates_psa_2mb == 1
+
+    def test_psa_useful_decrements(self):
+        selector = make()
+        selector.csel = 3
+        selector.on_useful(ISSUER_PSA)
+        assert selector.csel == 2
+        assert selector.updates_psa == 1
+
+    def test_saturation_high(self):
+        selector = make(csel_bits=3)
+        for _ in range(20):
+            selector.on_useful(ISSUER_PSA_2MB)
+        assert selector.csel == 7
+
+    def test_saturation_low(self):
+        selector = make()
+        for _ in range(5):
+            selector.on_useful(ISSUER_PSA)
+        assert selector.csel == 0
+
+    def test_unknown_issuer_ignored(self):
+        selector = make()
+        selector.on_useful(-1)
+        assert selector.csel == 0
+        assert selector.updates_psa == selector.updates_psa_2mb == 0
+
+    def test_competition_converges_to_better(self):
+        selector = make()
+        follower = next(s for s in range(1024)
+                        if selector.role_of_set(s) == ROLE_FOLLOWER)
+        # 3 useful PSA-2MB prefetches per useful PSA prefetch.
+        for _ in range(20):
+            selector.on_useful(ISSUER_PSA_2MB)
+            selector.on_useful(ISSUER_PSA_2MB)
+            selector.on_useful(ISSUER_PSA_2MB)
+            selector.on_useful(ISSUER_PSA)
+        assert selector.selected_for(follower) == ISSUER_PSA_2MB
+
+
+def test_annotation_storage():
+    """1KB of annotation bits for a 512KB L2C (paper Section IV-B2)."""
+    selector = make()
+    l2c_blocks = (512 * 1024) // 64
+    assert selector.annotation_storage_bits(l2c_blocks) == 8192

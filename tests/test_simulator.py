@@ -1,0 +1,122 @@
+"""End-to-end tests for repro.sim.simulator (tiny traces)."""
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import simulate_trace, simulate_workload
+from repro.workloads.suites import catalog
+
+N = 4000
+
+
+class TestBasicRuns:
+    def test_no_prefetch_baseline(self):
+        metrics = simulate_workload("lbm", variant="none", n_accesses=N)
+        assert metrics.ipc > 0
+        assert metrics.pf_issued_total == 0
+        assert metrics.l2_coverage == 0.0
+
+    def test_prefetching_improves_streaming(self):
+        base = simulate_workload("lbm", prefetcher="spp", variant="none",
+                                 n_accesses=N)
+        pref = simulate_workload("lbm", prefetcher="spp", variant="original",
+                                 n_accesses=N)
+        assert pref.ipc > base.ipc * 1.2
+        assert pref.l2_coverage > 0.5
+
+    def test_metrics_fields_populated(self):
+        metrics = simulate_workload("lbm", variant="psa", n_accesses=N)
+        assert metrics.workload == "lbm"
+        assert metrics.variant == "psa"
+        assert metrics.instructions > 0
+        assert metrics.memory_accesses == N // 2     # post-warmup half
+        assert metrics.thp_usage > 0.8
+        assert metrics.dram_reads > 0
+
+    def test_determinism(self):
+        a = simulate_workload("milc", variant="psa", n_accesses=N)
+        b = simulate_workload("milc", variant="psa", n_accesses=N)
+        assert a.ipc == b.ipc
+        assert a.l2_demand_misses == b.l2_demand_misses
+
+    def test_invalid_l1d_name(self):
+        with pytest.raises(ValueError):
+            simulate_workload("lbm", l1d="stride", n_accesses=100)
+
+    def test_spec_object_accepted(self):
+        spec = catalog()["lbm"]
+        metrics = simulate_workload(spec, variant="none", n_accesses=1000)
+        assert metrics.workload == "lbm"
+
+
+class TestVariantEquivalences:
+    def test_magic_equals_ppm(self):
+        """SPP-PSA-Magic (oracle) == SPP-PSA (PPM) in simulation — the
+        paper's observation that PPM delivers the full magic benefit."""
+        ppm = simulate_workload("lbm", variant="psa", n_accesses=N,
+                                oracle_page_size=False)
+        magic = simulate_workload("lbm", variant="psa", n_accesses=N,
+                                  oracle_page_size=True)
+        assert ppm.ipc == pytest.approx(magic.ipc)
+
+    def test_bop_psa_equals_psa_2mb(self):
+        """BOP has no page-indexed structure (paper Section VI-B1)."""
+        psa = simulate_workload("lbm", prefetcher="bop", variant="psa",
+                                n_accesses=N)
+        psa2 = simulate_workload("lbm", prefetcher="bop", variant="psa-2mb",
+                                 n_accesses=N)
+        assert psa.ipc == pytest.approx(psa2.ipc)
+
+    def test_psa_without_ppm_equals_original(self):
+        """PSA degenerates to the original when the bit never arrives."""
+        config = SystemConfig()
+        config.ppm_enabled = False
+        psa = simulate_workload("lbm", variant="psa", config=config,
+                                n_accesses=N)
+        orig = simulate_workload("lbm", variant="original", config=config,
+                                 n_accesses=N)
+        assert psa.ipc == pytest.approx(orig.ipc)
+
+
+class TestBoundaryAccounting:
+    def test_original_counts_missed_opportunity(self):
+        metrics = simulate_workload("lbm", variant="original", n_accesses=N)
+        assert metrics.boundary.discarded_cross_4k_in_2m > 0
+
+    def test_psa_eliminates_missed_opportunity(self):
+        metrics = simulate_workload("lbm", variant="psa", n_accesses=N)
+        assert metrics.boundary.discarded_cross_4k_in_2m == 0
+
+    def test_low_thp_workload_small_opportunity(self):
+        lbm = simulate_workload("lbm", variant="original", n_accesses=N)
+        soplex = simulate_workload("soplex", variant="original", n_accesses=N)
+        assert (soplex.boundary.discard_probability_in_2m()
+                < lbm.boundary.discard_probability_in_2m())
+
+
+class TestL1DPrefetching:
+    def test_ipcp_improves_over_nothing(self):
+        base = simulate_workload("lbm", variant="none", n_accesses=N)
+        ipcp = simulate_workload("lbm", variant="none", l1d="ipcp",
+                                 n_accesses=N)
+        assert ipcp.ipc > base.ipc
+
+    def test_ipcp_plus_plus_at_least_ipcp(self):
+        ipcp = simulate_workload("lbm", variant="none", l1d="ipcp",
+                                 n_accesses=N)
+        plus = simulate_workload("lbm", variant="none", l1d="ipcp++",
+                                 n_accesses=N)
+        assert plus.ipc >= ipcp.ipc * 0.98
+
+
+class TestTraceAPI:
+    def test_simulate_trace_direct(self):
+        trace = catalog()["lbm"].generate(1000)
+        metrics = simulate_trace(trace, variant="psa")
+        assert metrics.workload == "lbm"
+
+    def test_warmup_fraction(self):
+        trace = catalog()["lbm"].generate(1000)
+        full = simulate_trace(trace, variant="none", warmup_fraction=0.0)
+        half = simulate_trace(trace, variant="none", warmup_fraction=0.5)
+        assert half.memory_accesses == full.memory_accesses // 2

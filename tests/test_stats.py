@@ -1,0 +1,124 @@
+"""Tests for repro.analysis.stats."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    DistributionSummary,
+    geomean,
+    geomean_speedup_percent,
+    per_suite_geomeans,
+    percentile,
+    weighted_mean,
+)
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_speedup_percent(self):
+        assert geomean_speedup_percent([1.1, 1.1]) == pytest.approx(10.0)
+
+    def test_speedup_percent_negative(self):
+        assert geomean_speedup_percent([0.9]) < 0
+
+
+class TestWeightedMean:
+    def test_basic(self):
+        assert weighted_mean([1, 3], [1, 1]) == pytest.approx(2.0)
+
+    def test_weights(self):
+        assert weighted_mean([1, 3], [3, 1]) == pytest.approx(1.5)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1], [1, 2])
+
+    def test_zero_weights(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1], [0])
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([1, 2, 3], 0.5) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 0.25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5, 7, 9]
+        assert percentile(values, 0.0) == 5
+        assert percentile(values, 1.0) == 9
+
+    def test_out_of_range_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+
+class TestDistributionSummary:
+    def test_five_numbers(self):
+        summary = DistributionSummary.of([4, 1, 3, 2, 5])
+        assert summary.minimum == 1
+        assert summary.median == 3
+        assert summary.maximum == 5
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.count == 5
+
+    def test_quartiles_ordered(self):
+        summary = DistributionSummary.of(range(100))
+        assert (summary.minimum <= summary.p25 <= summary.median
+                <= summary.p75 <= summary.maximum)
+
+    def test_row_renders(self):
+        assert "med=" in DistributionSummary.of([1.0, 2.0]).row()
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            DistributionSummary.of([])
+
+
+class TestPerSuiteGeomeans:
+    def test_grouping(self):
+        speedups = {"a": 1.1, "b": 1.2, "c": 1.0}
+        suite_of = {"a": "S1", "b": "S2", "c": "S2"}
+        groups = {"G1": ["S1"], "G2": ["S2"]}
+        result = per_suite_geomeans(speedups, suite_of, groups)
+        assert result["G1"] == pytest.approx(10.0)
+        assert "ALL" in result
+
+    def test_empty_group_omitted(self):
+        result = per_suite_geomeans({"a": 1.1}, {"a": "S1"},
+                                    {"G1": ["S1"], "G2": ["S2"]})
+        assert "G2" not in result
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=10), min_size=1,
+                max_size=50))
+def test_property_geomean_bounded_by_extremes(values):
+    result = geomean(values)
+    assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+@given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1,
+                max_size=50),
+       st.floats(min_value=0, max_value=1))
+def test_property_percentile_within_range(values, fraction):
+    result = percentile(sorted(values), fraction)
+    assert min(values) - 1e-9 <= result <= max(values) + 1e-9

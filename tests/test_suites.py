@@ -1,0 +1,119 @@
+"""Tests for repro.workloads.suites — the 80-workload catalog."""
+
+import pytest
+
+from repro.workloads.generators import GENERATORS
+from repro.workloads.suites import (
+    FIG9_GROUPS,
+    MOTIVATION_WORKLOADS,
+    catalog,
+    suite_of,
+    workloads_by_suite,
+)
+
+
+class TestCatalogShape:
+    def test_eighty_intensive_workloads(self):
+        """The paper evaluates 80 memory-intensive workloads."""
+        assert len(catalog()) == 80
+
+    def test_suite_sizes(self):
+        by_suite = {}
+        for spec in catalog().values():
+            by_suite[spec.suite] = by_suite.get(spec.suite, 0) + 1
+        assert by_suite["SPEC06"] == 16
+        assert by_suite["SPEC17"] == 15
+        assert by_suite["GAP"] == 6
+        assert by_suite["QMM"] == 39
+
+    def test_non_intensive_extension(self):
+        extended = catalog(include_non_intensive=True)
+        assert len(extended) > 80
+        assert all(not spec.intensive for name, spec in extended.items()
+                   if name not in catalog())
+
+    def test_known_names_present(self):
+        names = catalog()
+        for expected in ("lbm", "milc", "soplex", "mcf", "tc.road",
+                         "pr.road", "qmm_fp_67", "data_caching"):
+            assert expected in names
+
+    def test_generator_kinds_valid(self):
+        for spec in catalog(include_non_intensive=True).values():
+            assert spec.kind in GENERATORS
+
+    def test_thp_fractions_valid(self):
+        for spec in catalog().values():
+            assert 0.0 <= spec.thp_fraction <= 1.0
+
+    def test_motivation_workloads_in_catalog(self):
+        names = catalog()
+        for workload in MOTIVATION_WORKLOADS:
+            assert workload in names
+        assert len(MOTIVATION_WORKLOADS) == 9   # Figs. 3-5 use nine
+
+
+class TestBehaviouralAssignments:
+    def test_soplex_low_thp(self):
+        """The paper singles out soplex as mostly 4KB-backed."""
+        assert catalog()["soplex"].thp_fraction < 0.2
+
+    def test_milc_wide_stride(self):
+        spec = catalog()["milc"]
+        assert spec.kind == "wide_strided"
+        assert spec.params["stride_blocks"] > 64
+
+    def test_gap_workloads_are_grain4k(self):
+        for spec in workloads_by_suite(["GAP"]):
+            assert spec.kind == "grain4k"
+
+    def test_streaming_workloads_high_thp(self):
+        for name in ("lbm", "bwaves", "fotonik3d_s", "libquantum"):
+            assert catalog()[name].thp_fraction >= 0.85
+
+
+class TestSpecAPI:
+    def test_generate_trace(self):
+        trace = catalog()["lbm"].generate(500)
+        assert len(trace) == 500
+        assert trace.name == "lbm"
+        assert trace.suite == "SPEC06"
+        assert trace.thp_fraction == catalog()["lbm"].thp_fraction
+
+    def test_seed_stable(self):
+        spec = catalog()["mcf"]
+        assert spec.seed() == spec.seed()
+        assert spec.generate(100).records == spec.generate(100).records
+
+    def test_different_workloads_different_seeds(self):
+        specs = list(catalog().values())
+        seeds = {spec.seed() for spec in specs}
+        assert len(seeds) == len(specs)
+
+    def test_suite_of(self):
+        assert suite_of("lbm") == "SPEC06"
+        assert suite_of("pr.road") == "GAP"
+
+    def test_workloads_by_suite_filter(self):
+        gap = workloads_by_suite(["GAP"])
+        assert len(gap) == 6
+        assert all(s.suite == "GAP" for s in gap)
+
+    def test_fig9_groups_cover_all_suites(self):
+        covered = {s for suites in FIG9_GROUPS.values() for s in suites}
+        present = {spec.suite for spec in catalog().values()}
+        assert present <= covered
+
+
+class TestTraceProperties:
+    def test_trace_instructions(self):
+        trace = catalog()["lbm"].generate(100)
+        assert trace.instructions >= 100
+
+    def test_memory_intensity(self):
+        trace = catalog()["lbm"].generate(100)
+        assert 0 < trace.memory_intensity() <= 1
+
+    def test_footprint_positive(self):
+        trace = catalog()["mcf"].generate(200)
+        assert trace.footprint_bytes() > 0

@@ -1,0 +1,100 @@
+"""Tests for repro.prefetch.tables — bounded hardware tables."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.prefetch.tables import BoundedTable, saturate
+
+
+class TestBoundedTable:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BoundedTable(0)
+
+    def test_put_get(self):
+        table = BoundedTable(4)
+        table.put("k", 1)
+        assert table.get("k") == 1
+
+    def test_get_missing(self):
+        assert BoundedTable(4).get("nope") is None
+
+    def test_lru_eviction(self):
+        table = BoundedTable(2)
+        table.put("a", 1)
+        table.put("b", 2)
+        evicted = table.put("c", 3)
+        assert evicted == "a"
+        assert "a" not in table
+        assert table.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        table = BoundedTable(2)
+        table.put("a", 1)
+        table.put("b", 2)
+        table.get("a")
+        assert table.put("c", 3) == "b"
+
+    def test_get_no_touch(self):
+        table = BoundedTable(2)
+        table.put("a", 1)
+        table.put("b", 2)
+        table.get("a", touch=False)
+        assert table.put("c", 3) == "a"
+
+    def test_update_existing_no_eviction(self):
+        table = BoundedTable(2)
+        table.put("a", 1)
+        table.put("b", 2)
+        assert table.put("a", 9) is None
+        assert table.get("a") == 9
+
+    def test_pop(self):
+        table = BoundedTable(2)
+        table.put("a", 1)
+        assert table.pop("a") == 1
+        assert table.pop("a") is None
+
+    def test_clear_and_len(self):
+        table = BoundedTable(4)
+        table.put("a", 1)
+        table.put("b", 2)
+        assert len(table) == 2
+        table.clear()
+        assert len(table) == 0
+
+    def test_iteration(self):
+        table = BoundedTable(4)
+        for k in ("x", "y"):
+            table.put(k, 0)
+        assert set(table) == {"x", "y"}
+
+
+class TestSaturate:
+    def test_within_range(self):
+        assert saturate(5, 0, 7) == 5
+
+    def test_clamps_low(self):
+        assert saturate(-3, 0, 7) == 0
+
+    def test_clamps_high(self):
+        assert saturate(99, 0, 7) == 7
+
+
+@settings(max_examples=50)
+@given(st.lists(st.tuples(st.integers(0, 100), st.integers()), max_size=300),
+       st.integers(min_value=1, max_value=16))
+def test_property_capacity_never_exceeded(ops, capacity):
+    table = BoundedTable(capacity)
+    for key, value in ops:
+        table.put(key, value)
+        assert len(table) <= capacity
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(0, 50), min_size=1, max_size=200))
+def test_property_last_inserted_always_present(keys):
+    table = BoundedTable(4)
+    for key in keys:
+        table.put(key, key)
+        assert key in table

@@ -1,0 +1,84 @@
+"""Tests for repro.workloads.io — trace persistence."""
+
+import json
+
+import pytest
+
+from repro.sim.simulator import simulate_trace
+from repro.workloads.io import load_trace, save_trace
+from repro.workloads.suites import catalog
+from repro.workloads.trace import Trace
+
+
+def sample_trace(n=200):
+    return catalog()["lbm"].generate(n)
+
+
+class TestRoundTrip:
+    def test_plain_file(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "t.trace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.records == trace.records
+        assert loaded.name == trace.name
+        assert loaded.thp_fraction == trace.thp_fraction
+        assert loaded.suite == trace.suite
+
+    def test_gzip_file(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "t.trace.gz"
+        save_trace(trace, path)
+        assert load_trace(path).records == trace.records
+
+    def test_gzip_smaller_than_plain(self, tmp_path):
+        trace = sample_trace(2000)
+        plain = tmp_path / "t.trace"
+        zipped = tmp_path / "t.trace.gz"
+        save_trace(trace, plain)
+        save_trace(trace, zipped)
+        assert zipped.stat().st_size < plain.stat().st_size
+
+    def test_dep_flag_roundtrip(self, tmp_path):
+        trace = catalog()["mcf"].generate(50)   # all dep=True
+        path = tmp_path / "t.trace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert all(isinstance(r[4], bool) and r[4] for r in loaded.records)
+
+    def test_simulation_identical_after_roundtrip(self, tmp_path):
+        trace = sample_trace(2000)
+        path = tmp_path / "t.trace"
+        save_trace(trace, path)
+        direct = simulate_trace(trace, variant="psa")
+        reloaded = simulate_trace(load_trace(path), variant="psa")
+        assert direct.ipc == reloaded.ipc
+
+
+class TestValidation:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_trace(path)
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(json.dumps({"format_version": 99, "name": "x",
+                                    "thp_fraction": 0.5, "records": 0}) + "\n")
+        with pytest.raises(ValueError, match="unsupported"):
+            load_trace(path)
+
+    def test_record_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "short.trace"
+        header = {"format_version": 1, "name": "x", "thp_fraction": 0.5,
+                  "suite": "s", "records": 2}
+        path.write_text(json.dumps(header) + "\n" +
+                        json.dumps([1, 2, 0, 0, 0]) + "\n")
+        with pytest.raises(ValueError, match="declares"):
+            load_trace(path)
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        path = tmp_path / "none.trace"
+        save_trace(Trace("empty", []), path)
+        assert load_trace(path).records == []
