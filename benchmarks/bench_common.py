@@ -11,6 +11,14 @@ Runtime knobs (environment):
   workload and multi-core mix count (see repro.sim.config).
 - ``REPRO_MAX_WORKLOADS``: cap the workload count of the expensive
   all-workload figures (0 = no cap).
+- ``REPRO_JOBS``         : engine worker processes (default: all cores;
+  1 = serial).  Unique runs are fanned out across the pool.
+- ``REPRO_CACHE_DIR``    : persistent run cache location (default
+  ``~/.cache/repro``); ``REPRO_DISK_CACHE=0`` disables it.
+
+Each archived figure is followed by the engine summary — simulated
+accesses/second and the batch cache hit-rate — so the throughput of the
+experiment engine itself is part of every bench run's output.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from pathlib import Path
 from typing import Dict, List
 
 from repro.analysis.report import format_table
+from repro.sim.runner import engine_stats
 from repro.workloads.suites import catalog, workloads_by_suite
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -81,6 +90,7 @@ def save_result(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print()
     print(text)
+    print(engine_stats().summary_line())
 
 
 def table(name: str, title: str, headers, rows) -> str:

@@ -10,16 +10,16 @@ from bench_common import representative_workloads, save_result
 from repro.analysis.report import format_series
 from repro.analysis.stats import geomean_speedup_percent
 from repro.sim.config import DuelingConfig
-from repro.sim.runner import speedup
+from repro.sim.runner import speedups_over_baseline
 
 LEADER_SETS = [8, 16, 32, 64]
 CSEL_BITS = [1, 2, 3, 4, 5]
 
 
 def geomean_sd(dueling):
-    values = [speedup(w, "spp", "psa-sd", dueling=dueling)
-              for w in representative_workloads()]
-    return geomean_speedup_percent(values)
+    values = speedups_over_baseline(representative_workloads(), "spp",
+                                    "psa-sd", dueling=dueling)
+    return geomean_speedup_percent(list(values.values()))
 
 
 def collect():

@@ -11,7 +11,7 @@ prefetcher and reading its BoundaryStats.
 from bench_common import representative_workloads, table
 
 from repro.analysis.stats import DistributionSummary
-from repro.sim.runner import run
+from repro.sim.runner import run_many
 
 PREFETCHERS = ["spp", "vldp", "ppf", "bop"]
 
@@ -19,11 +19,10 @@ PREFETCHERS = ["spp", "vldp", "ppf", "bop"]
 def collect_distributions():
     rows = []
     for prefetcher in PREFETCHERS:
-        probabilities = []
-        for workload in representative_workloads():
-            metrics = run(workload, prefetcher, "original")
-            probabilities.append(
-                metrics.boundary.discard_probability_in_2m())
+        probabilities = [
+            metrics.boundary.discard_probability_in_2m()
+            for metrics in run_many(representative_workloads(),
+                                    prefetcher, "original")]
         summary = DistributionSummary.of(probabilities)
         rows.append([prefetcher.upper(), summary.minimum, summary.p25,
                      summary.median, summary.p75, summary.maximum,

@@ -10,18 +10,25 @@ beats original SPP everywhere (5.2% geomean), except soplex where the
 from bench_common import table
 
 from repro.analysis.stats import geomean_speedup_percent
-from repro.sim.runner import run
+from repro.sim.runner import RunRequest, run_batch
 from repro.workloads.suites import MOTIVATION_WORKLOADS
 
 
 def collect_rows():
+    # One engine batch for the whole figure: 3 runs per workload,
+    # deduplicated against other figures via the persistent cache.
+    metrics = run_batch(
+        [request
+         for workload in MOTIVATION_WORKLOADS
+         for request in (RunRequest(workload, "spp", "none"),
+                         RunRequest(workload, "spp", "original"),
+                         RunRequest(workload, "spp", "psa",
+                                    oracle_page_size=True))])
     rows = []
     spp_speedups = []
     magic_speedups = []
-    for workload in MOTIVATION_WORKLOADS:
-        base = run(workload, "spp", "none")
-        spp = run(workload, "spp", "original")
-        magic = run(workload, "spp", "psa", oracle_page_size=True)
+    for i, workload in enumerate(MOTIVATION_WORKLOADS):
+        base, spp, magic = metrics[3 * i:3 * i + 3]
         spp_pct = (spp.speedup_over(base) - 1) * 100
         magic_pct = (magic.speedup_over(base) - 1) * 100
         rows.append([workload, spp_pct, magic_pct, magic_pct - spp_pct])

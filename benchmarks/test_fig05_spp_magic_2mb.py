@@ -10,20 +10,27 @@ libquantum-class streaming, and *loses* on 4KB-grain workloads
 from bench_common import table
 
 from repro.analysis.stats import geomean_speedup_percent
-from repro.sim.runner import run
+from repro.sim.runner import RunRequest, run_batch
 from repro.workloads.suites import MOTIVATION_WORKLOADS
 
 
 def collect_rows():
+    metrics = run_batch(
+        [request
+         for workload in MOTIVATION_WORKLOADS
+         for request in (RunRequest(workload, "spp", "none"),
+                         RunRequest(workload, "spp", "original"),
+                         RunRequest(workload, "spp", "psa",
+                                    oracle_page_size=True),
+                         RunRequest(workload, "spp", "psa-2mb",
+                                    oracle_page_size=True))])
     rows = []
     speedups = {"spp": [], "magic": [], "magic2m": []}
-    for workload in MOTIVATION_WORKLOADS:
-        base = run(workload, "spp", "none")
-        spp = run(workload, "spp", "original").speedup_over(base)
-        magic = run(workload, "spp", "psa",
-                    oracle_page_size=True).speedup_over(base)
-        magic2m = run(workload, "spp", "psa-2mb",
-                      oracle_page_size=True).speedup_over(base)
+    for i, workload in enumerate(MOTIVATION_WORKLOADS):
+        base, spp_m, magic_m, magic2m_m = metrics[4 * i:4 * i + 4]
+        spp = spp_m.speedup_over(base)
+        magic = magic_m.speedup_over(base)
+        magic2m = magic2m_m.speedup_over(base)
         rows.append([workload, (spp - 1) * 100, (magic - 1) * 100,
                      (magic2m - 1) * 100])
         speedups["spp"].append(spp)

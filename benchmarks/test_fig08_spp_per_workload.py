@@ -10,19 +10,22 @@ Set ``REPRO_MAX_WORKLOADS`` to cap the workload count for quick runs.
 from bench_common import all_workload_names, table
 
 from repro.analysis.stats import geomean_speedup_percent
-from repro.sim.runner import speedup
+from repro.sim.runner import variant_sweep
 
 VARIANTS = ["psa", "psa-2mb", "psa-sd"]
 
 
 def collect_rows():
     workloads = all_workload_names()
+    # One engine batch: every (workload, variant) run plus the shared
+    # original-SPP baselines, deduplicated and parallelised.
+    sweep = variant_sweep(workloads, "spp", VARIANTS)
     rows = []
     per_variant = {variant: [] for variant in VARIANTS}
     for workload in workloads:
         row = [workload]
         for variant in VARIANTS:
-            value = speedup(workload, "spp", variant)
+            value = sweep[variant][workload]
             per_variant[variant].append(value)
             row.append((value - 1) * 100)
         rows.append(row)

@@ -15,11 +15,11 @@ the raw per-level latency deltas reported alongside.
 from bench_common import representative_workloads, save_result
 
 from repro.analysis.report import format_table
-from repro.sim.runner import pair_metrics
+from repro.sim.runner import pair_metrics_many
 
 
-def metric_deltas(workload, variant):
-    target, base = pair_metrics(workload, "spp", variant)
+def metric_deltas(pair):
+    target, base = pair
     def latency_reduction(t, b):
         return (b - t) / b * 100 if b else 0.0
     return {
@@ -47,8 +47,9 @@ def collect():
         rows = []
         totals = {k: 0.0 for k in KEYS}
         workloads = representative_workloads()
+        pairs = pair_metrics_many(workloads, "spp", variant)
         for workload in workloads:
-            deltas = metric_deltas(workload, variant)
+            deltas = metric_deltas(pairs[workload])
             rows.append([workload] + [deltas[k] for k in KEYS])
             for k in KEYS:
                 totals[k] += deltas[k]

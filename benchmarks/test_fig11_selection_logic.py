@@ -17,7 +17,7 @@ from bench_common import representative_workloads, table
 
 from repro.analysis.stats import geomean_speedup_percent
 from repro.sim.config import DuelingConfig
-from repro.sim.runner import run, speedup
+from repro.sim.runner import run_many, speedups_over_baseline
 
 PREFETCHERS = ["spp", "vldp", "ppf"]
 POLICY_LABELS = [("standard", "SD-Standard"), ("page-size", "SD-Page-Size"),
@@ -32,17 +32,16 @@ def collect_rows():
         row = [prefetcher.upper()]
         for policy, _ in POLICY_LABELS:
             dueling = DuelingConfig(policy=policy)
-            values = [speedup(w, prefetcher, "psa-sd", dueling=dueling)
-                      for w in workloads]
-            pct = geomean_speedup_percent(values)
+            values = speedups_over_baseline(workloads, prefetcher, "psa-sd",
+                                            dueling=dueling)
+            pct = geomean_speedup_percent(list(values.values()))
             geomeans[(prefetcher, policy)] = pct
             row.append(pct)
         # ISO storage: original prefetcher with 2x tables vs original 1x.
-        iso = []
-        for workload in workloads:
-            doubled = run(workload, prefetcher, "original", table_scale=2.0)
-            base = run(workload, prefetcher, "original")
-            iso.append(doubled.speedup_over(base))
+        doubled = run_many(workloads, prefetcher, "original",
+                           table_scale=2.0)
+        base = run_many(workloads, prefetcher, "original")
+        iso = [d.speedup_over(b) for d, b in zip(doubled, base)]
         pct = geomean_speedup_percent(iso)
         geomeans[(prefetcher, "iso")] = pct
         row.append(pct)

@@ -18,7 +18,7 @@ from bench_common import representative_workloads, save_result
 from repro.analysis.report import format_series
 from repro.analysis.stats import geomean_speedup_percent
 from repro.sim.config import SystemConfig
-from repro.sim.runner import speedup
+from repro.sim.runner import speedups_over_baseline
 
 MSHR_SIZES = [8, 16, 32, 64, 128]
 LLC_SIZES = [256 << 10, 512 << 10, 1 << 20, 2 << 20]
@@ -27,9 +27,9 @@ PREFETCHER = "spp"
 
 
 def geomean_for(config, variant):
-    values = [speedup(w, PREFETCHER, variant, config=config)
-              for w in representative_workloads()]
-    return geomean_speedup_percent(values)
+    values = speedups_over_baseline(representative_workloads(), PREFETCHER,
+                                    variant, config=config)
+    return geomean_speedup_percent(list(values.values()))
 
 
 def collect():

@@ -12,7 +12,7 @@ VLDP/BOP variants land slightly below IPCP.
 from bench_common import representative_workloads, table
 
 from repro.analysis.stats import geomean
-from repro.sim.runner import run
+from repro.sim.runner import RunRequest, run_batch
 
 CONFIGS = [
     ("NL", dict(prefetcher="next-line", variant="original")),
@@ -31,15 +31,19 @@ CONFIGS = [
 
 def collect_rows():
     workloads = representative_workloads()
+    # One batch for the whole figure: the shared no-prefetching baselines
+    # plus every configuration, deduplicated and parallelised.
+    requests = [RunRequest(w, "spp", "none") for w in workloads]
+    requests += [RunRequest(w, **kwargs)
+                 for _, kwargs in CONFIGS for w in workloads]
+    metrics = run_batch(requests)
+    bases = metrics[:len(workloads)]
     rows = []
     values = {}
-    for label, kwargs in CONFIGS:
-        speedups = []
-        for workload in workloads:
-            base = run(workload, "spp", "none")
-            target = run(workload, **kwargs)
-            speedups.append(target.speedup_over(base))
-        values[label] = geomean(speedups)
+    for i, (label, _) in enumerate(CONFIGS):
+        targets = metrics[(i + 1) * len(workloads):(i + 2) * len(workloads)]
+        values[label] = geomean([t.speedup_over(b)
+                                 for t, b in zip(targets, bases)])
         rows.append([label, values[label]])
     return rows, values
 

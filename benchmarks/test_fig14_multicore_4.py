@@ -14,7 +14,7 @@ from repro.analysis.stats import DistributionSummary, geomean_speedup_percent
 from repro.sim.config import SystemConfig, mixes_for_scale
 from repro.sim.multicore import (
     generate_mixes,
-    mix_weighted_speedup,
+    mix_weighted_speedups,
     multicore_config,
 )
 
@@ -25,14 +25,9 @@ VARIANTS = ["psa", "psa-sd"]
 def collect(cores=CORES):
     config = multicore_config(SystemConfig(), cores)
     mixes = generate_mixes(mixes_for_scale(), cores)
-    iso_cache = {}
-    results = {}
-    for variant in VARIANTS:
-        values = [mix_weighted_speedup(mix, config, "spp", variant,
-                                       iso_cache=iso_cache)
-                  for mix in mixes]
-        results[variant] = values
-    return results
+    # Engine-batched: isolation runs are one deduplicated run_batch, and
+    # the coupled mix simulations fan out across the worker pool.
+    return mix_weighted_speedups(mixes, config, "spp", VARIANTS)
 
 
 def render(results, cores):

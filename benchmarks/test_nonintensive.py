@@ -8,7 +8,7 @@ ones.  We run the catalog's non-intensive extension under every variant.
 from bench_common import table
 
 from repro.analysis.stats import geomean_speedup_percent
-from repro.sim.runner import speedup
+from repro.sim.runner import variant_sweep
 from repro.workloads.suites import catalog
 
 VARIANTS = ["psa", "psa-2mb", "psa-sd"]
@@ -18,12 +18,13 @@ def collect_rows():
     names = [name for name, spec in
              catalog(include_non_intensive=True).items()
              if not spec.intensive]
+    sweep = variant_sweep(names, "spp", VARIANTS)
     rows = []
     per_variant = {v: [] for v in VARIANTS}
     for workload in names:
         row = [workload]
         for variant in VARIANTS:
-            value = speedup(workload, "spp", variant)
+            value = sweep[variant][workload]
             per_variant[variant].append(value)
             row.append((value - 1) * 100)
         rows.append(row)

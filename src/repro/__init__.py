@@ -37,10 +37,19 @@ from repro.sim.metrics import RunMetrics
 from repro.sim.multicore import (
     generate_mixes,
     mix_weighted_speedup,
+    mix_weighted_speedups,
     multicore_config,
     simulate_mix,
 )
-from repro.sim.runner import run, speedup, speedups_over_baseline, variant_sweep
+from repro.sim.runner import (
+    RunRequest,
+    engine_stats,
+    run,
+    run_batch,
+    speedup,
+    speedups_over_baseline,
+    variant_sweep,
+)
 from repro.sim.simulator import simulate_trace, simulate_workload
 from repro.workloads.suites import MOTIVATION_WORKLOADS, WorkloadSpec, catalog
 
@@ -55,16 +64,20 @@ __all__ = [
     "PREFETCHERS",
     "PSAPrefetchModule",
     "RunMetrics",
+    "RunRequest",
     "SetDuelingSelector",
     "SystemConfig",
     "VARIANTS",
     "WorkloadSpec",
     "catalog",
+    "engine_stats",
     "generate_mixes",
     "make_l2_module",
     "mix_weighted_speedup",
+    "mix_weighted_speedups",
     "multicore_config",
     "run",
+    "run_batch",
     "simulate_mix",
     "simulate_trace",
     "simulate_workload",

@@ -11,6 +11,13 @@ Commands
   describe an existing trace file.
 - ``report``   : concatenate the archived figure outputs under
   ``benchmarks/results/`` into one reproduction report.
+- ``cache``    : inspect or clear the persistent on-disk run cache.
+
+``run`` and ``compare`` execute through the batch engine
+(``repro.sim.runner``): results are deduplicated, parallelised across
+``--jobs``/``REPRO_JOBS`` workers, and persisted under
+``REPRO_CACHE_DIR`` (default ``~/.cache/repro``) so repeated invocations
+are served from disk.
 
 Examples::
 
@@ -18,19 +25,24 @@ Examples::
     python -m repro compare --workload milc --variants original,psa,psa-2mb
     python -m repro catalog --suite GAP
     python -m repro trace --workload lbm --out lbm.trace.gz --accesses 50000
+    python -m repro cache stats
+    python -m repro cache clear
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.analysis.report import format_table
 from repro.core.factory import PREFETCHERS, VARIANTS
+from repro.sim import cache as disk_cache
 from repro.sim.config import SCALE_ACCESSES, SystemConfig
 from repro.sim.metrics import RunMetrics
-from repro.sim.simulator import L1D_PREFETCHERS, simulate_trace, simulate_workload
+from repro.sim.runner import RunRequest, engine_stats, run_batch
+from repro.sim.simulator import L1D_PREFETCHERS, simulate_trace
 from repro.workloads.io import load_trace, save_trace
 from repro.workloads.suites import catalog
 
@@ -70,6 +82,13 @@ def _add_sim_arguments(parser: argparse.ArgumentParser) -> None:
                         help="disable the page-size propagation module")
     parser.add_argument("--tlb-prefetch", action="store_true",
                         help="enable the footnote-3 TLB prefetcher")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="engine worker processes (default: REPRO_JOBS "
+                             "or all cores; 1 = serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the in-process and on-disk run caches")
+    parser.add_argument("--engine-stats", action="store_true",
+                        help="print engine dedup/cache/throughput summary")
 
 
 def _config_from(args) -> SystemConfig:
@@ -81,23 +100,33 @@ def _config_from(args) -> SystemConfig:
     return config
 
 
+def _engine_epilogue(args) -> None:
+    if getattr(args, "engine_stats", False):
+        print(f"\n{engine_stats().summary_line()}")
+
+
+def _request_for(args, config, variant) -> RunRequest:
+    return RunRequest(args.workload, args.prefetcher, variant,
+                      l1d=args.l1d, n_accesses=args.accesses,
+                      gb_fraction=args.gb_fraction, config=config)
+
+
 def cmd_run(args) -> int:
     config = _config_from(args)
-    metrics = simulate_workload(
-        args.workload, config=config, prefetcher=args.prefetcher,
-        variant=args.variant, l1d=args.l1d, n_accesses=args.accesses,
-        gb_fraction=args.gb_fraction)
+    requests = [_request_for(args, config, args.variant)]
+    if args.baseline:
+        requests.append(_request_for(args, config, args.baseline))
+    results = run_batch(requests, jobs=args.jobs,
+                        use_cache=not args.no_cache)
+    metrics = results[0]
     title = f"{args.workload}: {args.prefetcher}-{args.variant}"
     print(format_table(["metric", "value"], _metrics_rows(metrics),
                        title=title))
     if args.baseline:
-        base = simulate_workload(
-            args.workload, config=config, prefetcher=args.prefetcher,
-            variant=args.baseline, l1d=args.l1d, n_accesses=args.accesses,
-            gb_fraction=args.gb_fraction)
-        gain = (metrics.speedup_over(base) - 1) * 100
+        gain = (metrics.speedup_over(results[1]) - 1) * 100
         print(f"\nspeedup over {args.prefetcher}-{args.baseline}: "
               f"{gain:+.2f}%")
+    _engine_epilogue(args)
     return 0
 
 
@@ -109,10 +138,10 @@ def cmd_compare(args) -> int:
             print(f"error: unknown variant {variant!r} "
                   f"(choose from {VARIANTS})", file=sys.stderr)
             return 2
-    results = {variant: simulate_workload(
-        args.workload, config=config, prefetcher=args.prefetcher,
-        variant=variant, l1d=args.l1d, n_accesses=args.accesses,
-        gb_fraction=args.gb_fraction) for variant in variants}
+    metrics_list = run_batch(
+        [_request_for(args, config, variant) for variant in variants],
+        jobs=args.jobs, use_cache=not args.no_cache)
+    results = dict(zip(variants, metrics_list))
     baseline = results[variants[0]]
     rows = []
     for variant, metrics in results.items():
@@ -123,6 +152,19 @@ def cmd_compare(args) -> int:
         ["config", "IPC", "L2 MPKI", "L2 coverage %",
          f"vs {variants[0]} %"],
         rows, title=f"{args.workload}: variant comparison"))
+    _engine_epilogue(args)
+    return 0
+
+
+def cmd_cache(args) -> int:
+    if args.dir:
+        os.environ["REPRO_CACHE_DIR"] = args.dir
+    if args.action == "stats":
+        print(disk_cache.stats().describe())
+        return 0
+    # clear
+    removed = disk_cache.clear()
+    print(f"removed {removed} cache entries from {disk_cache.cache_dir()}")
     return 0
 
 
@@ -241,6 +283,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep = sub.add_parser("report", help="print all regenerated figures")
     p_rep.add_argument("--results-dir", default="benchmarks/results")
     p_rep.set_defaults(func=cmd_report)
+
+    p_cache = sub.add_parser("cache",
+                             help="inspect/clear the on-disk run cache")
+    p_cache.add_argument("action", choices=["stats", "clear"])
+    p_cache.add_argument("--dir", default=None,
+                         help="cache directory (default: REPRO_CACHE_DIR "
+                              "or ~/.cache/repro)")
+    p_cache.set_defaults(func=cmd_cache)
     return parser
 
 

@@ -79,6 +79,17 @@ class BoundaryStats:
         self.discarded_cross_4k_in_4k += other.discarded_cross_4k_in_4k
         self.discarded_beyond_2m += other.discarded_beyond_2m
 
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, BoundaryStats):
+            return NotImplemented
+        return all(getattr(self, slot) == getattr(other, slot)
+                   for slot in self.__slots__)
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{slot}={getattr(self, slot)}"
+                           for slot in self.__slots__)
+        return f"BoundaryStats({fields})"
+
 
 class PrefetchContext:
     """Per-access emission window handed to the prefetcher.

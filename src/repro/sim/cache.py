@@ -1,0 +1,212 @@
+"""Persistent on-disk result cache for finished simulation runs.
+
+The figure benchmarks regenerate overlapping (workload, prefetcher,
+variant, config) runs across *pytest sessions*, not just within one; the
+in-process memo in ``repro.sim.runner`` cannot help there.  This module
+stores finished ``RunMetrics`` on disk, content-addressed by the complete
+run fingerprint, so a warm re-run of any figure driver is served from disk
+instead of re-simulating.
+
+Layout (under ``REPRO_CACHE_DIR`` or ``~/.cache/repro``)::
+
+    objects/<2-hex fan-out>/<sha256 of salted key>.json
+
+Each entry is a standalone JSON document carrying the serialization
+``version``, the code-version ``salt`` and the full ``key`` repr (for
+auditability) plus the ``metrics`` payload.  Guarantees:
+
+- **Atomic writes**: entries are written to a temp file in the same
+  directory and ``os.replace``d into place, so concurrent writers (parallel
+  workers, parallel pytest sessions) can never expose a torn entry.
+- **Corruption tolerance**: any unreadable/undecodable/mis-shaped entry is
+  treated as a miss (and best-effort deleted), never an exception.
+- **Versioned invalidation**: the key is salted with ``CACHE_VERSION`` and
+  ``CODE_VERSION``; bumping either orphans every old entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.prefetch.base import BoundaryStats
+from repro.sim.metrics import RunMetrics
+
+#: Serialization format version: bump when the on-disk payload shape or the
+#: fields of ``RunMetrics``/``BoundaryStats`` change incompatibly.
+CACHE_VERSION = 1
+
+#: Code-version salt: bump whenever simulation *semantics* change so that
+#: results produced by older code can never be returned for new runs.
+CODE_VERSION = "2026-08-05.1"
+
+
+def cache_enabled() -> bool:
+    """Disk cache on/off switch (``REPRO_DISK_CACHE=0`` disables)."""
+    return os.environ.get("REPRO_DISK_CACHE", "1").lower() not in (
+        "0", "off", "no", "false")
+
+
+def cache_dir() -> Path:
+    """Cache root: ``REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+def _salt() -> str:
+    return f"{CACHE_VERSION}:{CODE_VERSION}"
+
+
+def key_digest(key: tuple) -> str:
+    """Content address of one run key, salted by the cache/code version."""
+    return hashlib.sha256(repr((_salt(), key)).encode()).hexdigest()
+
+
+def entry_path(key: tuple) -> Path:
+    digest = key_digest(key)
+    return cache_dir() / "objects" / digest[:2] / f"{digest[2:]}.json"
+
+
+# ----------------------------------------------------------------------
+# RunMetrics (de)serialization
+# ----------------------------------------------------------------------
+
+def metrics_to_dict(metrics: RunMetrics) -> dict:
+    """Flatten a RunMetrics (including BoundaryStats) to JSON-safe types."""
+    data = {f.name: getattr(metrics, f.name)
+            for f in dataclasses.fields(metrics) if f.name != "boundary"}
+    data["boundary"] = {slot: getattr(metrics.boundary, slot)
+                        for slot in BoundaryStats.__slots__}
+    return data
+
+
+def metrics_from_dict(data: dict) -> RunMetrics:
+    """Rebuild a RunMetrics; unknown keys are ignored, missing use defaults."""
+    known = {f.name for f in dataclasses.fields(RunMetrics)}
+    fields = {k: v for k, v in data.items()
+              if k in known and k != "boundary"}
+    metrics = RunMetrics(**fields)
+    for slot, value in data.get("boundary", {}).items():
+        if slot in BoundaryStats.__slots__:
+            setattr(metrics.boundary, slot, value)
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# Load / store
+# ----------------------------------------------------------------------
+
+def store(key: tuple, metrics: RunMetrics) -> bool:
+    """Atomically persist one finished run; returns False when disabled."""
+    if not cache_enabled():
+        return False
+    path = entry_path(key)
+    payload = {
+        "version": CACHE_VERSION,
+        "salt": _salt(),
+        "key": repr(key),
+        "metrics": metrics_to_dict(metrics),
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)   # atomic on POSIX: readers never see torn data
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return False                # cache dir unwritable -> run uncached
+    return True
+
+
+def load(key: tuple) -> Optional[RunMetrics]:
+    """Fetch one run from disk; any corruption or mismatch is a miss."""
+    if not cache_enabled():
+        return None
+    path = entry_path(key)
+    try:
+        payload = json.loads(path.read_text())
+        if (payload.get("version") != CACHE_VERSION
+                or payload.get("salt") != _salt()):
+            return None
+        return metrics_from_dict(payload["metrics"])
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, TypeError, KeyError):
+        # Torn/garbled entry (e.g. crashed writer on a non-atomic
+        # filesystem): drop it so the slot heals on the next store.
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+# ----------------------------------------------------------------------
+# Maintenance (powers the `repro cache` CLI subcommand)
+# ----------------------------------------------------------------------
+
+@dataclass
+class CacheStats:
+    """Summary of the on-disk cache state."""
+
+    directory: Path
+    entries: int = 0
+    total_bytes: int = 0
+
+    def describe(self) -> str:
+        size_kb = self.total_bytes / 1024
+        state = "enabled" if cache_enabled() else "disabled (REPRO_DISK_CACHE)"
+        return (f"cache dir : {self.directory}\n"
+                f"state     : {state}\n"
+                f"entries   : {self.entries}\n"
+                f"size      : {size_kb:.1f} KiB\n"
+                f"version   : {_salt()}")
+
+
+def stats() -> CacheStats:
+    result = CacheStats(directory=cache_dir())
+    objects = cache_dir() / "objects"
+    if not objects.is_dir():
+        return result
+    for path in objects.glob("*/*.json"):
+        try:
+            result.total_bytes += path.stat().st_size
+            result.entries += 1
+        except OSError:
+            continue
+    return result
+
+
+def clear() -> int:
+    """Delete every cache entry; returns the number removed."""
+    objects = cache_dir() / "objects"
+    removed = 0
+    if not objects.is_dir():
+        return removed
+    for path in objects.glob("*/*"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            continue
+    for sub in objects.glob("*"):
+        try:
+            sub.rmdir()
+        except OSError:
+            continue
+    return removed

@@ -70,10 +70,20 @@ class RunMetrics:
     # Set-Dueling diagnostics
     sd_follower_psa_fraction: float = 0.0
     sd_follower_psa_2mb_fraction: float = 0.0
+    #: Engine accounting: wall-clock seconds this run took to simulate.
+    #: Excluded from equality so parallel/cached results still compare
+    #: bitwise-equal to serial uncached ones.
+    wall_time_s: float = field(default=0.0, compare=False)
 
     @property
     def pf_issued_total(self) -> int:
         return self.pf_issued_l2 + self.pf_issued_llc
+
+    @property
+    def accesses_per_sec(self) -> float:
+        """Measured-phase simulation throughput of this run."""
+        return (self.memory_accesses / self.wall_time_s
+                if self.wall_time_s else 0.0)
 
     def speedup_over(self, baseline: "RunMetrics") -> float:
         """IPC ratio vs a baseline run of the same workload."""

@@ -27,7 +27,8 @@ from repro.cpu.core import Core
 from repro.memory.cache import Cache
 from repro.memory.dram import DRAM
 from repro.sim.config import SystemConfig, accesses_for_scale
-from repro.sim.simulator import build_hierarchy, simulate_workload
+from repro.sim.runner import RunRequest, parallel_map, run_batch
+from repro.sim.simulator import build_hierarchy
 from repro.workloads.suites import WorkloadSpec, catalog
 
 
@@ -100,21 +101,29 @@ def isolation_ipcs(specs: List[WorkloadSpec], config: SystemConfig,
                    prefetcher: str, variant: str,
                    n_accesses: Optional[int] = None,
                    cache: Optional[Dict] = None) -> List[float]:
-    """IPC of each workload alone on the multi-core configuration."""
-    ipcs = []
-    for spec in specs:
-        key = (spec.name, prefetcher, variant, n_accesses,
-               config.llc.size_bytes, config.dram.transfer_rate_mts)
-        if cache is not None and key in cache:
-            ipcs.append(cache[key])
-            continue
-        metrics = simulate_workload(spec, config=config,
-                                    prefetcher=prefetcher, variant=variant,
-                                    n_accesses=n_accesses)
+    """IPC of each workload alone on the multi-core configuration.
+
+    Runs through the batch engine, so shared baselines are deduplicated,
+    parallelised and served from the persistent cache.  ``cache`` is the
+    legacy per-caller memo dict; it is still honoured (and filled) for
+    callers that carry one across invocations.
+    """
+    keys = [(spec.name, prefetcher, variant, n_accesses,
+             config.llc.size_bytes, config.dram.transfer_rate_mts)
+            for spec in specs]
+    missing = [(key, spec) for key, spec in zip(keys, specs)
+               if cache is None or key not in cache]
+    if missing:
+        metrics = run_batch([
+            RunRequest(spec, prefetcher, variant, n_accesses=n_accesses,
+                       config=config) for _, spec in missing])
+        fresh = {key: m.ipc for (key, _), m in zip(missing, metrics)}
         if cache is not None:
-            cache[key] = metrics.ipc
-        ipcs.append(metrics.ipc)
-    return ipcs
+            cache.update(fresh)
+    else:
+        fresh = {}
+    return [cache[key] if cache is not None and key in cache
+            else fresh[key] for key in keys]
 
 
 def generate_mixes(num_mixes: int, num_cores: int,
@@ -141,3 +150,50 @@ def mix_weighted_speedup(specs: List[WorkloadSpec], config: SystemConfig,
     if not baseline_weighted:
         return 0.0
     return run.weighted_ipc(iso) / baseline_weighted
+
+
+def _mix_task(task) -> MixResult:
+    """Top-level (picklable) wrapper for one mix run on the worker pool."""
+    specs, config, prefetcher, variant, n_accesses = task
+    return simulate_mix(specs, config, prefetcher, variant, n_accesses)
+
+
+def mix_weighted_speedups(mixes: List[List[WorkloadSpec]],
+                          config: SystemConfig, prefetcher: str,
+                          variants: List[str],
+                          baseline_variant: str = "original",
+                          n_accesses: Optional[int] = None,
+                          ) -> Dict[str, List[float]]:
+    """Weighted speedups of several variants across many mixes (batched).
+
+    The Figs. 14-15 driver loop, ported onto the engine: all isolation
+    runs go through ``run_batch`` in one deduplicated batch (a workload
+    appearing in several mixes is simulated once, or served from the disk
+    cache), and the coupled mix simulations — which cannot be split — are
+    fanned out across the worker pool one mix/variant per task.
+    """
+    unique_specs = list({spec.name: spec
+                         for mix in mixes for spec in mix}.values())
+    iso_by_name = dict(zip(
+        [spec.name for spec in unique_specs],
+        isolation_ipcs(unique_specs, config, prefetcher, baseline_variant,
+                       n_accesses)))
+    all_variants = [baseline_variant] + [v for v in variants
+                                         if v != baseline_variant]
+    tasks = [(mix, config, prefetcher, variant, n_accesses)
+             for variant in all_variants for mix in mixes]
+    mix_results = parallel_map(_mix_task, tasks)
+    by_variant = {
+        variant: mix_results[i * len(mixes):(i + 1) * len(mixes)]
+        for i, variant in enumerate(all_variants)}
+    speedups: Dict[str, List[float]] = {}
+    for variant in variants:
+        values = []
+        for base, run in zip(by_variant[baseline_variant],
+                             by_variant[variant]):
+            iso = [iso_by_name[name] for name in run.workloads]
+            baseline_weighted = base.weighted_ipc(iso)
+            values.append(run.weighted_ipc(iso) / baseline_weighted
+                          if baseline_weighted else 0.0)
+        speedups[variant] = values
+    return speedups

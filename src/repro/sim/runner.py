@@ -1,37 +1,290 @@
-"""Experiment runner: cached simulation plus speedup conveniences.
+"""Experiment engine: batched, parallel, persistently cached simulation.
 
 The benchmarks regenerate many figures from overlapping sets of runs (e.g.
 the SPP-original baseline appears in Figs. 4, 5, 8, 10, 11, 12).  The
-runner memoises finished ``RunMetrics`` by a configuration fingerprint so
-one pytest session never repeats a run.
+engine removes that redundancy at three levels:
+
+1. **Deduplication** — ``run_batch`` collapses requests with identical
+   fingerprints, so a shared baseline is simulated once per batch.
+2. **Caching** — finished ``RunMetrics`` are memoised in-process *and*
+   persisted to a content-addressed on-disk cache (``repro.sim.cache``),
+   so they survive across pytest sessions and CLI invocations.
+3. **Parallelism** — unique uncached runs are fanned out over a
+   ``ProcessPoolExecutor`` sized by ``REPRO_JOBS`` (default: all cores;
+   ``1`` recovers the serial path), then results fan back in request
+   order.  Runs are deterministic (see the stable allocator seeding in
+   ``repro.sim.simulator``), so parallel metrics are bitwise-equal to
+   serial ones.
+
+``run``/``speedup``/``speedups_over_baseline``/``variant_sweep``/
+``run_many``/``pair_metrics`` are all thin frontends over ``run_batch``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+import dataclasses
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.sim import cache as disk_cache
 from repro.sim.config import DuelingConfig, SystemConfig, accesses_for_scale
 from repro.sim.metrics import RunMetrics
 from repro.sim.simulator import simulate_workload
+from repro.workloads.suites import WorkloadSpec
 
 _CACHE: Dict[tuple, RunMetrics] = {}
 
+#: Set in pool workers so nested engine calls never spawn a second pool.
+_IN_WORKER_ENV = "REPRO_IN_WORKER"
 
-def _fingerprint(config: SystemConfig,
-                 dueling: Optional[DuelingConfig]) -> tuple:
+
+def job_count() -> int:
+    """Worker-pool width: ``REPRO_JOBS`` env, default ``os.cpu_count()``."""
+    if os.environ.get(_IN_WORKER_ENV):
+        return 1
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if raw:
+        jobs = int(raw)
+        return jobs if jobs > 0 else (os.cpu_count() or 1)
+    return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting
+# ----------------------------------------------------------------------
+
+def _freeze(value):
+    """Recursively convert a value into a hashable, order-stable tuple."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return tuple((f.name, _freeze(getattr(value, f.name)))
+                     for f in dataclasses.fields(value))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    return value
+
+
+def config_fingerprint(config: SystemConfig,
+                       dueling: Optional[DuelingConfig] = None) -> tuple:
+    """Complete fingerprint of a system configuration.
+
+    Derived automatically from *every* dataclass field (recursively), so new
+    configuration knobs can never be forgotten and two different configs can
+    never collide in the cache.  ``dueling`` is the optional per-run
+    override that ``make_l2_module`` applies over ``config.dueling``.
+    """
     duel = dueling if dueling is not None else config.dueling
-    return (
-        config.l2c.size_bytes, config.l2c.mshr_entries,
-        config.llc.size_bytes, config.llc.mshr_entries,
-        config.dram.transfer_rate_mts, config.dram.channels,
-        config.ppm_enabled, config.ppm_to_llc,
-        duel.leader_sets, duel.csel_bits, duel.policy,
-    )
+    return (_freeze(config), ("dueling", _freeze(duel)))
+
+
+@dataclass
+class RunRequest:
+    """One (workload, prefetcher, variant, configuration) simulation."""
+
+    workload: Union[str, WorkloadSpec]
+    prefetcher: str = "spp"
+    variant: str = "psa"
+    l1d: str = "none"
+    oracle_page_size: bool = False
+    n_accesses: Optional[int] = None
+    table_scale: float = 1.0
+    gb_fraction: float = 0.0
+    config: Optional[SystemConfig] = None
+    dueling: Optional[DuelingConfig] = None
+
+    def resolved(self) -> "RunRequest":
+        """Fill scale/config defaults so the fingerprint is self-contained."""
+        config = self.config if self.config is not None else SystemConfig()
+        return dataclasses.replace(
+            self,
+            n_accesses=(self.n_accesses if self.n_accesses is not None
+                        else accesses_for_scale()),
+            config=config,
+            dueling=self.dueling if self.dueling is not None
+            else config.dueling)
+
+    def key(self) -> tuple:
+        """Complete fingerprint, derived automatically from every field.
+
+        ``_freeze`` recurses through the request and all nested dataclasses
+        (``SystemConfig``, its cache/TLB/DRAM/dueling members, a
+        ``WorkloadSpec`` workload), so adding a knob anywhere automatically
+        widens the key — two different configurations can never collide.
+        """
+        return ("run", _freeze(self.resolved()))
+
+
+# ----------------------------------------------------------------------
+# Engine statistics
+# ----------------------------------------------------------------------
+
+@dataclass
+class EngineStats:
+    """Cumulative accounting of what the engine did this process."""
+
+    requests: int = 0
+    deduped: int = 0          # requests collapsed onto an in-batch twin
+    memo_hits: int = 0        # served from the in-process memo
+    disk_hits: int = 0        # served from the on-disk cache
+    simulated: int = 0        # actually executed
+    sim_wall_s: float = 0.0   # summed per-run wall time (all workers)
+    batch_wall_s: float = 0.0  # wall time spent inside run_batch
+    simulated_accesses: int = 0  # trace records executed (incl. warmup)
+
+    @property
+    def cache_hits(self) -> int:
+        return self.deduped + self.memo_hits + self.disk_hits
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    @property
+    def accesses_per_sec(self) -> float:
+        """Aggregate simulation throughput over engine wall time."""
+        return (self.simulated_accesses / self.batch_wall_s
+                if self.batch_wall_s else 0.0)
+
+    def summary_line(self) -> str:
+        return (f"engine: {self.requests} requests "
+                f"({self.simulated} simulated, {self.memo_hits} memo, "
+                f"{self.disk_hits} disk, {self.deduped} deduped) | "
+                f"cache hit-rate {self.cache_hit_rate * 100:.1f}% | "
+                f"{self.simulated_accesses:,} accesses in "
+                f"{self.batch_wall_s:.2f}s = "
+                f"{self.accesses_per_sec:,.0f} accesses/s")
+
+
+_STATS = EngineStats()
+
+
+def engine_stats() -> EngineStats:
+    """The process-wide cumulative engine statistics."""
+    return _STATS
+
+
+def reset_engine_stats() -> None:
+    global _STATS
+    _STATS = EngineStats()
 
 
 def clear_cache() -> None:
+    """Drop the in-process memo (the disk cache is left untouched)."""
     _CACHE.clear()
 
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+def _execute(request: RunRequest) -> RunMetrics:
+    """Simulate one resolved request, stamping per-run wall time."""
+    start = time.perf_counter()
+    metrics = simulate_workload(
+        request.workload, config=request.config,
+        prefetcher=request.prefetcher, variant=request.variant,
+        l1d=request.l1d, oracle_page_size=request.oracle_page_size,
+        n_accesses=request.n_accesses, table_scale=request.table_scale,
+        gb_fraction=request.gb_fraction, dueling=request.dueling)
+    metrics.wall_time_s = time.perf_counter() - start
+    return metrics
+
+
+def _worker_init() -> None:
+    os.environ[_IN_WORKER_ENV] = "1"
+
+
+def _coerce(request) -> RunRequest:
+    if isinstance(request, RunRequest):
+        return request
+    if isinstance(request, dict):
+        return RunRequest(**request)
+    raise TypeError(f"expected RunRequest or dict, got {type(request)!r}")
+
+
+def run_batch(requests: Iterable[Union[RunRequest, dict]],
+              jobs: Optional[int] = None,
+              use_cache: bool = True) -> List[RunMetrics]:
+    """Execute a batch of runs and return metrics in request order.
+
+    Requests are deduplicated by fingerprint; unique misses (after the
+    in-process memo and the on-disk cache) are scheduled across a process
+    pool of ``jobs`` workers (default ``REPRO_JOBS``).  With
+    ``use_cache=False`` every request is simulated fresh and nothing is
+    read from or written to either cache.
+    """
+    batch_start = time.perf_counter()
+    reqs = [_coerce(r).resolved() for r in requests]
+    keys = [r.key() for r in reqs]
+    _STATS.requests += len(reqs)
+
+    results: Dict[tuple, RunMetrics] = {}
+    pending: List[Tuple[tuple, RunRequest]] = []
+    scheduled = set()
+    for key, req in zip(keys, reqs):
+        if key in results or key in scheduled:
+            _STATS.deduped += 1
+            continue
+        if use_cache:
+            memo = _CACHE.get(key)
+            if memo is not None:
+                results[key] = memo
+                _STATS.memo_hits += 1
+                continue
+            disk = disk_cache.load(key)
+            if disk is not None:
+                results[key] = disk
+                _CACHE[key] = disk
+                _STATS.disk_hits += 1
+                continue
+        scheduled.add(key)
+        pending.append((key, req))
+
+    if pending:
+        width = min(jobs if jobs is not None else job_count(), len(pending))
+        if width > 1:
+            with ProcessPoolExecutor(max_workers=width,
+                                     initializer=_worker_init) as pool:
+                fresh = list(pool.map(_execute, [r for _, r in pending]))
+        else:
+            fresh = [_execute(req) for _, req in pending]
+        for (key, _), metrics in zip(pending, fresh):
+            results[key] = metrics
+            if use_cache:
+                _CACHE[key] = metrics
+                disk_cache.store(key, metrics)
+        _STATS.simulated += len(pending)
+        _STATS.sim_wall_s += sum(m.wall_time_s for m in fresh)
+        _STATS.simulated_accesses += sum(r.n_accesses for _, r in pending)
+
+    _STATS.batch_wall_s += time.perf_counter() - batch_start
+    return [results[key] for key in keys]
+
+
+def parallel_map(fn: Callable, items: Sequence,
+                 jobs: Optional[int] = None) -> List:
+    """Map a picklable function over items on the engine's worker pool.
+
+    Used for work that is parallel but not ``RunMetrics``-shaped (e.g. the
+    multi-core mix simulations).  Falls back to a plain loop when the pool
+    width is 1 or there is nothing to parallelise.
+    """
+    items = list(items)
+    width = min(jobs if jobs is not None else job_count(), len(items))
+    if width <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=width,
+                             initializer=_worker_init) as pool:
+        return list(pool.map(fn, items))
+
+
+# ----------------------------------------------------------------------
+# Frontends (all batched under the hood)
+# ----------------------------------------------------------------------
 
 def run(workload: str, prefetcher: str = "spp", variant: str = "psa",
         config: Optional[SystemConfig] = None, l1d: str = "none",
@@ -39,20 +292,18 @@ def run(workload: str, prefetcher: str = "spp", variant: str = "psa",
         table_scale: float = 1.0,
         dueling: Optional[DuelingConfig] = None,
         use_cache: bool = True) -> RunMetrics:
-    """Simulate one workload under one configuration (memoised)."""
-    config = config if config is not None else SystemConfig()
-    n = n_accesses if n_accesses is not None else accesses_for_scale()
-    key = (workload, prefetcher, variant, l1d, oracle_page_size, n,
-           table_scale, _fingerprint(config, dueling))
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
-    metrics = simulate_workload(
-        workload, config=config, prefetcher=prefetcher, variant=variant,
-        l1d=l1d, oracle_page_size=oracle_page_size, n_accesses=n,
-        table_scale=table_scale, dueling=dueling)
-    if use_cache:
-        _CACHE[key] = metrics
-    return metrics
+    """Simulate one workload under one configuration (cached)."""
+    request = RunRequest(
+        workload, prefetcher, variant, l1d=l1d,
+        oracle_page_size=oracle_page_size, n_accesses=n_accesses,
+        table_scale=table_scale, config=config, dueling=dueling)
+    return run_batch([request], use_cache=use_cache)[0]
+
+
+def _target_request(workload, prefetcher, variant, config, n_accesses,
+                    **kwargs) -> RunRequest:
+    return RunRequest(workload, prefetcher, variant, config=config,
+                      n_accesses=n_accesses, **kwargs)
 
 
 def speedup(workload: str, prefetcher: str, variant: str,
@@ -62,10 +313,13 @@ def speedup(workload: str, prefetcher: str, variant: str,
             n_accesses: Optional[int] = None,
             **kwargs) -> float:
     """IPC ratio of (prefetcher, variant) over the baseline variant."""
-    target = run(workload, prefetcher, variant, config=config,
-                 n_accesses=n_accesses, **kwargs)
-    base = run(workload, baseline_prefetcher or prefetcher, baseline_variant,
-               config=config, n_accesses=n_accesses)
+    use_cache = kwargs.pop("use_cache", True)
+    target, base = run_batch([
+        _target_request(workload, prefetcher, variant, config, n_accesses,
+                        **kwargs),
+        RunRequest(workload, baseline_prefetcher or prefetcher,
+                   baseline_variant, config=config, n_accesses=n_accesses),
+    ], use_cache=use_cache)
     return target.speedup_over(base)
 
 
@@ -74,10 +328,17 @@ def speedups_over_baseline(workloads: Iterable[str], prefetcher: str,
                            config: Optional[SystemConfig] = None,
                            n_accesses: Optional[int] = None,
                            **kwargs) -> Dict[str, float]:
-    """Per-workload speedups of one variant over the baseline."""
-    return {w: speedup(w, prefetcher, variant, baseline_variant,
-                       config=config, n_accesses=n_accesses, **kwargs)
-            for w in workloads}
+    """Per-workload speedups of one variant over the baseline (one batch)."""
+    use_cache = kwargs.pop("use_cache", True)
+    workloads = list(workloads)
+    requests = [_target_request(w, prefetcher, variant, config, n_accesses,
+                                **kwargs) for w in workloads]
+    requests += [RunRequest(w, prefetcher, baseline_variant, config=config,
+                            n_accesses=n_accesses) for w in workloads]
+    metrics = run_batch(requests, use_cache=use_cache)
+    targets, bases = metrics[:len(workloads)], metrics[len(workloads):]
+    return {w: t.speedup_over(b)
+            for w, t, b in zip(workloads, targets, bases)}
 
 
 def variant_sweep(workloads: Iterable[str], prefetcher: str,
@@ -86,20 +347,34 @@ def variant_sweep(workloads: Iterable[str], prefetcher: str,
                   config: Optional[SystemConfig] = None,
                   n_accesses: Optional[int] = None,
                   **kwargs) -> Dict[str, Dict[str, float]]:
-    """variant -> {workload -> speedup over baseline}."""
+    """variant -> {workload -> speedup over baseline}, as one batch."""
+    use_cache = kwargs.pop("use_cache", True)
     workloads = list(workloads)
-    return {variant: speedups_over_baseline(
-                workloads, prefetcher, variant, baseline_variant,
-                config=config, n_accesses=n_accesses, **kwargs)
-            for variant in variants}
+    variants = list(variants)
+    requests = [_target_request(w, prefetcher, v, config, n_accesses,
+                                **kwargs)
+                for v in variants for w in workloads]
+    requests += [RunRequest(w, prefetcher, baseline_variant, config=config,
+                            n_accesses=n_accesses) for w in workloads]
+    metrics = run_batch(requests, use_cache=use_cache)
+    bases = dict(zip(workloads, metrics[len(variants) * len(workloads):]))
+    sweep: Dict[str, Dict[str, float]] = {}
+    for i, variant in enumerate(variants):
+        row = metrics[i * len(workloads):(i + 1) * len(workloads)]
+        sweep[variant] = {w: t.speedup_over(bases[w])
+                          for w, t in zip(workloads, row)}
+    return sweep
 
 
 def run_many(workloads: Iterable[str], prefetcher: str, variant: str,
              config: Optional[SystemConfig] = None,
              n_accesses: Optional[int] = None,
              **kwargs) -> List[RunMetrics]:
-    return [run(w, prefetcher, variant, config=config,
-                n_accesses=n_accesses, **kwargs) for w in workloads]
+    use_cache = kwargs.pop("use_cache", True)
+    return run_batch(
+        [_target_request(w, prefetcher, variant, config, n_accesses,
+                         **kwargs) for w in workloads],
+        use_cache=use_cache)
 
 
 def pair_metrics(workload: str, prefetcher: str, variant: str,
@@ -108,8 +383,28 @@ def pair_metrics(workload: str, prefetcher: str, variant: str,
                  n_accesses: Optional[int] = None,
                  **kwargs) -> Tuple[RunMetrics, RunMetrics]:
     """(variant run, baseline run) for delta metrics (Fig. 10)."""
-    target = run(workload, prefetcher, variant, config=config,
-                 n_accesses=n_accesses, **kwargs)
-    base = run(workload, prefetcher, baseline_variant, config=config,
-               n_accesses=n_accesses)
+    use_cache = kwargs.pop("use_cache", True)
+    target, base = run_batch([
+        _target_request(workload, prefetcher, variant, config, n_accesses,
+                        **kwargs),
+        RunRequest(workload, prefetcher, baseline_variant, config=config,
+                   n_accesses=n_accesses),
+    ], use_cache=use_cache)
     return target, base
+
+
+def pair_metrics_many(workloads: Iterable[str], prefetcher: str,
+                      variant: str, baseline_variant: str = "original",
+                      config: Optional[SystemConfig] = None,
+                      n_accesses: Optional[int] = None,
+                      **kwargs) -> Dict[str, Tuple[RunMetrics, RunMetrics]]:
+    """Batched ``pair_metrics`` across workloads (one engine batch)."""
+    use_cache = kwargs.pop("use_cache", True)
+    workloads = list(workloads)
+    requests = [_target_request(w, prefetcher, variant, config, n_accesses,
+                                **kwargs) for w in workloads]
+    requests += [RunRequest(w, prefetcher, baseline_variant, config=config,
+                            n_accesses=n_accesses) for w in workloads]
+    metrics = run_batch(requests, use_cache=use_cache)
+    return {w: (t, b) for w, t, b in zip(
+        workloads, metrics[:len(workloads)], metrics[len(workloads):])}

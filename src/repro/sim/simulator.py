@@ -11,6 +11,7 @@ half for measurement; ``warmup_fraction=0.5`` reproduces that split.
 
 from __future__ import annotations
 
+import zlib
 from typing import Optional, Union
 
 from repro.core.factory import make_l2_module
@@ -23,6 +24,16 @@ from repro.workloads.suites import WorkloadSpec, catalog
 from repro.workloads.trace import Trace
 
 L1D_PREFETCHERS = ("none", "ipcp", "ipcp++")
+
+
+def allocator_seed(trace_name: str) -> int:
+    """Stable per-trace allocator seed.
+
+    Must not depend on ``hash()``: PYTHONHASHSEED salting would make the
+    physical layout differ between worker processes, sessions, and
+    machines, breaking parallel/serial equivalence and the disk cache.
+    """
+    return zlib.crc32(trace_name.encode()) & 0xFFFF
 
 
 def build_hierarchy(trace: Trace, config: SystemConfig, prefetcher: str,
@@ -41,7 +52,7 @@ def build_hierarchy(trace: Trace, config: SystemConfig, prefetcher: str,
     if l1d not in L1D_PREFETCHERS:
         raise ValueError(f"l1d must be one of {L1D_PREFETCHERS}, got {l1d!r}")
     allocator = PhysicalMemoryAllocator(
-        thp_fraction=trace.thp_fraction, seed=hash(trace.name) & 0xFFFF,
+        thp_fraction=trace.thp_fraction, seed=allocator_seed(trace.name),
         core_id=core_id, gb_fraction=gb_fraction)
     module = make_l2_module(prefetcher, variant, config,
                             table_scale=table_scale, dueling=dueling)

@@ -1,11 +1,28 @@
 """Shared test fixtures and helpers."""
 
+import os
 from typing import Optional
 
 import pytest
 
 from repro.memory.address import BLOCKS_PER_2M, BLOCKS_PER_4K, PAGE_SIZE_4K
 from repro.prefetch.base import BoundaryStats, PrefetchContext
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_disk_cache(tmp_path_factory):
+    """Point the persistent run cache at a per-session temp directory.
+
+    The disk cache still gets exercised end-to-end, but test runs neither
+    read stale entries from ``~/.cache/repro`` nor pollute it.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 def make_ctx(block: int, ip: int = 0x400, hit: bool = False,

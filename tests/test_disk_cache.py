@@ -1,0 +1,233 @@
+"""Tests for the persistent on-disk run cache (repro.sim.cache).
+
+Covers hit/miss/roundtrip behaviour, atomicity under concurrent writers,
+corruption tolerance, invalidation on version bumps, and the
+completeness of the automatically-derived configuration fingerprint.
+"""
+
+import dataclasses
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.prefetch.base import BoundaryStats
+from repro.sim import cache, runner
+from repro.sim.config import DuelingConfig, SystemConfig
+from repro.sim.metrics import RunMetrics
+from repro.sim.runner import RunRequest, engine_stats, reset_engine_stats
+
+N = 1200
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+    runner.clear_cache()
+    reset_engine_stats()
+    yield tmp_path
+    runner.clear_cache()
+
+
+def sample_metrics() -> RunMetrics:
+    metrics = RunMetrics(workload="lbm", prefetcher="spp", variant="psa",
+                         ipc=2.5, instructions=1000, cycles=400.0,
+                         l2_mpki=3.25, wall_time_s=0.5)
+    metrics.boundary.proposed = 17
+    metrics.boundary.discarded_cross_4k_in_2m = 5
+    return metrics
+
+
+KEY = ("run", "unit-test-key")
+
+
+class TestRoundtrip:
+    def test_store_then_load_equal(self):
+        original = sample_metrics()
+        assert cache.store(KEY, original)
+        loaded = cache.load(KEY)
+        assert loaded is not original
+        assert loaded == original
+        assert loaded.boundary.proposed == 17
+
+    def test_wall_time_survives_but_does_not_affect_equality(self):
+        original = sample_metrics()
+        cache.store(KEY, original)
+        loaded = cache.load(KEY)
+        assert loaded.wall_time_s == 0.5
+        loaded.wall_time_s = 99.0
+        assert loaded == original      # compare=False field
+
+    def test_absent_key_misses(self):
+        assert cache.load(("run", "never-stored")) is None
+
+    def test_unknown_payload_fields_ignored(self):
+        cache.store(KEY, sample_metrics())
+        path = cache.entry_path(KEY)
+        payload = json.loads(path.read_text())
+        payload["metrics"]["field_from_the_future"] = 1
+        path.write_text(json.dumps(payload))
+        assert cache.load(KEY) == sample_metrics()
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_a_miss_and_healed(self):
+        cache.store(KEY, sample_metrics())
+        path = cache.entry_path(KEY)
+        path.write_text("{ not json !!!")
+        assert cache.load(KEY) is None
+        assert not path.exists()       # bad entry dropped
+        assert cache.store(KEY, sample_metrics())
+        assert cache.load(KEY) is not None
+
+    def test_truncated_entry_is_a_miss(self):
+        cache.store(KEY, sample_metrics())
+        path = cache.entry_path(KEY)
+        path.write_text(path.read_text()[:20])
+        assert cache.load(KEY) is None
+
+    def test_version_bump_invalidates(self, monkeypatch):
+        cache.store(KEY, sample_metrics())
+        assert cache.load(KEY) is not None
+        original_version = cache.CODE_VERSION
+        monkeypatch.setattr(cache, "CODE_VERSION", "9999-future")
+        assert cache.load(KEY) is None     # salted digest moved
+        monkeypatch.setattr(cache, "CODE_VERSION", original_version)
+        assert cache.load(KEY) is not None
+
+    def test_payload_version_checked(self):
+        cache.store(KEY, sample_metrics())
+        path = cache.entry_path(KEY)
+        payload = json.loads(path.read_text())
+        payload["version"] = cache.CACHE_VERSION + 1
+        path.write_text(json.dumps(payload))
+        assert cache.load(KEY) is None
+
+    def test_disable_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+        assert not cache.store(KEY, sample_metrics())
+        assert cache.load(KEY) is None
+
+
+class TestMaintenance:
+    def test_stats_and_clear(self):
+        for i in range(3):
+            cache.store(("run", f"k{i}"), sample_metrics())
+        stats = cache.stats()
+        assert stats.entries == 3
+        assert stats.total_bytes > 0
+        assert "entries   : 3" in stats.describe()
+        assert cache.clear() == 3
+        assert cache.stats().entries == 0
+
+    def test_cli_cache_commands(self, capsys):
+        from repro.cli import main
+        cache.store(KEY, sample_metrics())
+        assert main(["cache", "stats"]) == 0
+        assert "entries   : 1" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1 cache entries" in capsys.readouterr().out
+        assert cache.stats().entries == 0
+
+
+class TestFingerprintCompleteness:
+    """Every configuration field must widen the key (satellite fix: the old
+    hand-written fingerprint omitted geometry/latency/core fields)."""
+
+    def mutations(self):
+        base = SystemConfig()
+        yield dataclasses.replace(base, rob_entries=128)
+        yield dataclasses.replace(base, fetch_width=6)
+        yield dataclasses.replace(base, pwc_entries=64)
+        yield dataclasses.replace(base, tlb_prefetch=True)
+        yield base.scaled_llc(1 << 20)
+        yield base.scaled_l2c_mshr(8)
+        yield base.scaled_dram(800)
+        llc_slow = dataclasses.replace(base)
+        llc_slow.llc = dataclasses.replace(base.llc, latency=33)
+        yield llc_slow
+        l1d_small = dataclasses.replace(base)
+        l1d_small.l1d = dataclasses.replace(base.l1d, size_bytes=24 << 10,
+                                            ways=6)
+        yield l1d_small
+        stlb = dataclasses.replace(base)
+        stlb.stlb = dataclasses.replace(base.stlb, entries=768)
+        yield stlb
+        dram_rows = dataclasses.replace(base)
+        dram_rows.dram = dataclasses.replace(base.dram, row_bytes=4096)
+        yield dram_rows
+        yield dataclasses.replace(base, num_page_sizes=3)
+        yield dataclasses.replace(
+            base, dueling=DuelingConfig(leader_sets=16))
+
+    def test_every_field_changes_the_key(self):
+        base_key = RunRequest("lbm", config=SystemConfig(),
+                              n_accesses=N).key()
+        keys = {base_key}
+        for mutated in self.mutations():
+            key = RunRequest("lbm", config=mutated, n_accesses=N).key()
+            assert key not in keys, f"fingerprint collision for {mutated}"
+            keys.add(key)
+        # ... and the digests differ too.
+        digests = {cache.key_digest(k) for k in keys}
+        assert len(digests) == len(keys)
+
+    def test_dueling_override_in_key(self):
+        plain = RunRequest("lbm", variant="psa-sd", n_accesses=N).key()
+        overridden = RunRequest("lbm", variant="psa-sd", n_accesses=N,
+                                dueling=DuelingConfig(csel_bits=5)).key()
+        assert plain != overridden
+
+    def test_explicit_default_dueling_collapses(self):
+        # dueling=None resolves to config.dueling: same effective run,
+        # same key, no redundant simulation.
+        assert (RunRequest("lbm", n_accesses=N).key()
+                == RunRequest("lbm", n_accesses=N,
+                              dueling=DuelingConfig()).key())
+
+
+class TestEngineIntegration:
+    def test_run_populates_disk_and_serves_from_it(self):
+        first = runner.run("lbm", "spp", "psa", n_accesses=N)
+        assert cache.stats().entries == 1
+        runner.clear_cache()
+        reset_engine_stats()
+        second = runner.run("lbm", "spp", "psa", n_accesses=N)
+        assert engine_stats().disk_hits == 1
+        assert engine_stats().simulated == 0
+        assert second == first
+
+    def test_uncached_run_bypasses_disk(self):
+        runner.run("lbm", "spp", "psa", n_accesses=N, use_cache=False)
+        assert cache.stats().entries == 0
+
+
+def _writer(args):
+    directory, worker_id = args
+    os.environ["REPRO_CACHE_DIR"] = directory
+    metrics = sample_metrics()
+    metrics.instructions = worker_id      # different payloads, same keys
+    for round_index in range(25):
+        cache.store(("run", "contended"), metrics)
+        cache.store(("run", f"own-{worker_id}", round_index), metrics)
+    return cache.load(("run", "contended")) is not None
+
+
+class TestConcurrentWriters:
+    def test_parallel_writers_never_corrupt(self, isolated_cache):
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(4) as pool:
+            results = pool.map(
+                _writer, [(str(isolated_cache), i) for i in range(4)])
+        assert all(results)
+        # The contended entry is one intact payload from *some* writer.
+        loaded = cache.load(("run", "contended"))
+        assert loaded is not None
+        assert loaded.instructions in range(4)
+        # Every entry on disk parses cleanly.
+        stats = cache.stats()
+        assert stats.entries == 1 + 4 * 25
+        for path in (isolated_cache / "objects").glob("*/*.json"):
+            json.loads(path.read_text())
