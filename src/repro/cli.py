@@ -162,10 +162,93 @@ def cmd_cache(args) -> int:
     if args.action == "stats":
         print(disk_cache.stats().describe())
         return 0
+    if args.action == "list":
+        entries = disk_cache.list_entries()
+        if not entries:
+            print(f"no cache entries under {disk_cache.cache_dir()}")
+            return 0
+        rows = [[e.workload, e.prefetcher, e.variant, e.size_bytes,
+                 "yes" if e.current else "stale"] for e in entries]
+        print(format_table(
+            ["workload", "prefetcher", "variant", "bytes", "current"],
+            rows, title=f"{len(entries)} cache entries "
+                        f"({disk_cache.cache_dir()})"))
+        return 0
     # clear
     removed = disk_cache.clear()
     print(f"removed {removed} cache entries from {disk_cache.cache_dir()}")
     return 0
+
+
+def cmd_verify(args) -> int:
+    from pathlib import Path
+
+    from repro.verify import golden as golden_mod
+    from repro.verify.invariants import InvariantViolation
+    from repro.verify.oracle import OracleDivergence
+    from repro.sim.simulator import simulate_workload
+
+    golden_dir = Path(args.golden_dir) if args.golden_dir else None
+    if args.bless:
+        path = golden_mod.bless(golden_dir)
+        print(f"blessed golden corpus -> {path}")
+        return 0
+    failed = 0
+    if args.golden:
+        results = golden_mod.run_corpus(golden_dir, oracle=args.oracle)
+        for result in results:
+            print(result.describe())
+            if not result.ok:
+                failed += 1
+        if failed:
+            print(f"\n{failed} golden digest(s) diverged; if the change is "
+                  f"intended, rerun with --bless", file=sys.stderr)
+        return 1 if failed else 0
+    # Differential-oracle mode: replay workloads with the reference model.
+    names = args.workloads or ["all"]
+    if names == ["all"]:
+        names = sorted(catalog())
+    variants = ([args.variant] if args.variant
+                else ["none", "original", "psa", "psa-2mb", "psa-sd"])
+    config = _config_from(args)
+    for name in names:
+        for variant in variants:
+            try:
+                metrics = simulate_workload(
+                    name, config=config, prefetcher=args.prefetcher,
+                    variant=variant, l1d=args.l1d,
+                    n_accesses=args.accesses, oracle=True)
+                report = metrics.oracle_report
+                print(f"OK   {name:<14s} {variant:<9s} "
+                      f"{report.events} events, "
+                      f"{len(report.counters)} counters matched")
+            except OracleDivergence as exc:
+                failed += 1
+                print(f"FAIL {name:<14s} {variant:<9s} "
+                      f"{exc.report.total_divergences} divergence(s)")
+                if args.diff_out:
+                    Path(args.diff_out).write_text(exc.report.to_text()
+                                                   + "\n")
+                    print(f"     diff written to {args.diff_out}")
+                else:
+                    for line in exc.report.divergences[:5]:
+                        print(f"     {line}")
+            except InvariantViolation as exc:
+                # REPRO_CHECK tripped before the oracle could finish its
+                # diff — still a verification failure, report it as one.
+                failed += 1
+                print(f"FAIL {name:<14s} {variant:<9s} "
+                      f"runtime invariant violated")
+                message = f"invariant violation:\n{exc}\n"
+                if args.diff_out:
+                    Path(args.diff_out).write_text(message)
+                    print(f"     diff written to {args.diff_out}")
+                else:
+                    print(f"     {exc}")
+    if failed:
+        print(f"\n{failed} (workload, variant) pair(s) diverged from the "
+              f"reference model", file=sys.stderr)
+    return 1 if failed else 0
 
 
 def cmd_catalog(args) -> int:
@@ -284,9 +367,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--results-dir", default="benchmarks/results")
     p_rep.set_defaults(func=cmd_report)
 
+    p_ver = sub.add_parser(
+        "verify",
+        help="differential-oracle and golden-corpus verification")
+    p_ver.add_argument("workloads", nargs="*",
+                       help="workload names, or 'all' (default)")
+    p_ver.add_argument("--accesses", type=int, default=3000,
+                       help="trace length per oracle replay (default 3000)")
+    p_ver.add_argument("--prefetcher", default="spp",
+                       choices=sorted(PREFETCHERS))
+    p_ver.add_argument("--variant", default=None, choices=VARIANTS,
+                       help="single variant (default: all five)")
+    p_ver.add_argument("--l1d", default="none", choices=L1D_PREFETCHERS)
+    p_ver.add_argument("--no-ppm", action="store_true",
+                       help="disable the page-size propagation module")
+    p_ver.add_argument("--tlb-prefetch", action="store_true",
+                       help="enable the footnote-3 TLB prefetcher")
+    p_ver.add_argument("--golden", action="store_true",
+                       help="replay the committed golden-trace corpus")
+    p_ver.add_argument("--oracle", action="store_true",
+                       help="with --golden: also shadow each replay with "
+                            "the differential oracle")
+    p_ver.add_argument("--bless", action="store_true",
+                       help="regenerate the golden digests (records "
+                            "intended semantic changes)")
+    p_ver.add_argument("--golden-dir", default=None,
+                       help="corpus directory (default: REPRO_GOLDEN_DIR "
+                            "or tests/golden)")
+    p_ver.add_argument("--diff-out", default=None,
+                       help="write the full fast-vs-oracle diff of the "
+                            "first failure to this path")
+    p_ver.set_defaults(func=cmd_verify)
+
     p_cache = sub.add_parser("cache",
                              help="inspect/clear the on-disk run cache")
-    p_cache.add_argument("action", choices=["stats", "clear"])
+    p_cache.add_argument("action", choices=["stats", "list", "clear"])
     p_cache.add_argument("--dir", default=None,
                          help="cache directory (default: REPRO_CACHE_DIR "
                               "or ~/.cache/repro)")

@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 
 from repro.memory.mshr import MSHR
+from repro.verify import invariants
 
 
 class PageSizePropagationModule:
@@ -30,6 +31,7 @@ class PageSizePropagationModule:
         self.enabled = enabled
         self.num_page_sizes = num_page_sizes
         self.annotations = 0
+        self._check = invariants.enabled()
 
     @staticmethod
     def bits_per_mshr_entry(num_page_sizes: int = 2) -> int:
@@ -45,6 +47,15 @@ class PageSizePropagationModule:
                           page_size: int) -> None:
         """Record the miss in the L1D MSHR, with the page-size bit if on."""
         bit = page_size if self.enabled else 0
+        if self._check:
+            if not 0 <= page_size < 3:
+                invariants.violated(
+                    f"PPM: page-size code {page_size!r} for block {block:#x} "
+                    f"is not a valid encoding (expected 0=4K, 1=2M, 2=1G)")
+            if not self.enabled and bit != 0:
+                invariants.violated(
+                    "PPM: disabled module must annotate page-size bit 0, "
+                    f"got {bit}")
         if self.enabled:
             self.annotations += 1
         l1d_mshr.insert(block, ready, page_size=bit)
@@ -62,4 +73,8 @@ class PageSizePropagationModule:
                          page_size_bit) -> None:
         """Copy the bit into the L2C MSHR so an LLC prefetcher can read it."""
         bit = page_size_bit if (self.enabled and page_size_bit is not None) else 0
+        if self._check and bit != 0 and not 0 <= bit < 3:
+            invariants.violated(
+                f"PPM: propagated page-size code {bit!r} for block "
+                f"{block:#x} is not a valid encoding")
         l2c_mshr.insert(block, ready, page_size=bit)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.prefetch.base import ISSUER_PSA, ISSUER_PSA_2MB
 from repro.sim.config import DuelingConfig
+from repro.verify import invariants
 
 ROLE_FOLLOWER = "follower"
 ROLE_PSA_LEADER = "psa-leader"
@@ -50,6 +51,21 @@ class SetDuelingSelector:
         self.updates_psa_2mb = 0
         self.follower_selects_psa = 0
         self.follower_selects_psa_2mb = 0
+        self._check = invariants.enabled()
+        # With checks on, enumerate every set's role once so selected_for
+        # can be cross-validated against a frozen assignment: leader sets
+        # must never follow Csel, and the hash must yield exactly
+        # leader_sets sets per prefetcher.
+        self._frozen_roles = None
+        if self._check:
+            self._frozen_roles = tuple(self.role_of_set(s)
+                                       for s in range(num_sets))
+            psa = self._frozen_roles.count(ROLE_PSA_LEADER)
+            psa2m = self._frozen_roles.count(ROLE_PSA_2MB_LEADER)
+            if psa != self._leader_sets or psa2m != self._leader_sets:
+                invariants.violated(
+                    f"Set-Dueling: leader hash assigned {psa}/{psa2m} "
+                    f"leader sets, expected {self._leader_sets} each")
 
     # ------------------------------------------------------------------
     def role_of_set(self, set_index: int) -> str:
@@ -72,6 +88,16 @@ class SetDuelingSelector:
     def selected_for(self, set_index: int) -> int:
         """Issuer that must generate prefetches for this access's set."""
         role = self.role_of_set(set_index)
+        if self._frozen_roles is not None:
+            if not 0 <= set_index < self.num_sets:
+                invariants.violated(
+                    f"Set-Dueling: set index {set_index} out of range "
+                    f"[0, {self.num_sets})")
+            if role != self._frozen_roles[set_index]:
+                invariants.violated(
+                    f"Set-Dueling: set {set_index} changed role from "
+                    f"{self._frozen_roles[set_index]} to {role}; leader "
+                    f"assignment must be frozen at construction")
         if role == ROLE_PSA_LEADER:
             return ISSUER_PSA
         if role == ROLE_PSA_2MB_LEADER:
@@ -92,6 +118,10 @@ class SetDuelingSelector:
             if self.csel < self.csel_max:
                 self.csel += 1
             self.updates_psa_2mb += 1
+        if self._check and not 0 <= self.csel <= self.csel_max:
+            invariants.violated(
+                f"Set-Dueling: Csel {self.csel} escaped its saturating "
+                f"range [0, {self.csel_max}]")
 
     def annotation_storage_bits(self, l2c_blocks: int) -> int:
         """One annotation bit per L2C block (1KB for a 512KB L2C)."""

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.memory.mshr import MSHR
 from repro.memory.replacement import make_policy
 from repro.sim.config import CacheConfig
+from repro.verify import invariants
 
 #: ``issuer`` value for lines not filled by any dueling prefetcher.
 NO_ISSUER = -1
@@ -64,6 +65,7 @@ class Cache:
         self.useful_prefetches = 0    # demand hits on prefetched lines
         self.prefetch_fills = 0
         self.writebacks = 0
+        self._check = invariants.enabled()
 
     # ------------------------------------------------------------------
     # Geometry
@@ -105,6 +107,10 @@ class Cache:
         evicted = None
         if len(cache_set) >= self.ways:
             victim = self._policies[idx].victim()
+            if self._check and victim not in cache_set:
+                invariants.violated(
+                    f"{self.name}: replacement policy of set {idx} named "
+                    f"victim {victim:#x} that is not resident in the set")
             victim_line = cache_set.pop(victim)
             self._policies[idx].on_evict(victim)
             if victim_line.dirty:
@@ -114,6 +120,15 @@ class Cache:
         self._policies[idx].on_fill(block)
         if prefetch:
             self.prefetch_fills += 1
+        if self._check:
+            if len(cache_set) > self.ways:
+                invariants.violated(
+                    f"{self.name}: set {idx} holds {len(cache_set)} lines, "
+                    f"exceeding {self.ways} ways")
+            if block & self._set_mask != idx:
+                invariants.violated(
+                    f"{self.name}: block {block:#x} filled into set {idx}, "
+                    f"but indexes to set {block & self._set_mask}")
         return evicted
 
     def invalidate(self, block: int) -> bool:
@@ -143,6 +158,11 @@ class Cache:
         update its Csel counter.
         """
         self.demand_accesses += 1
+        if self._check and hit != (line is not None):
+            invariants.violated(
+                f"{self.name}: demand recorded as "
+                f"{'hit' if hit else 'miss'} but lookup "
+                f"{'found' if line is not None else 'did not find'} a line")
         issuer = None
         if hit:
             self.demand_hits += 1

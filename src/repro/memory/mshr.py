@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.verify import invariants
+
 
 class MSHR:
     """A bounded table of in-flight misses keyed by block number.
@@ -24,7 +26,8 @@ class MSHR:
     the owning cache participates in PPM).
     """
 
-    __slots__ = ("name", "capacity", "_entries", "stalls", "merges", "inserts")
+    __slots__ = ("name", "capacity", "_entries", "stalls", "merges",
+                 "inserts", "_check")
 
     def __init__(self, name: str, capacity: int) -> None:
         if capacity < 1:
@@ -35,6 +38,7 @@ class MSHR:
         self.stalls = 0   # times a miss found the MSHR full
         self.merges = 0   # times a miss merged with an in-flight entry
         self.inserts = 0
+        self._check = invariants.enabled()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -92,11 +96,25 @@ class MSHR:
 
     def insert(self, block: int, ready: float, page_size: int = 0) -> None:
         """Allocate an entry; caller must have ensured capacity."""
+        if self._check:
+            # Callers must probe lookup()/contains() (which retire stale
+            # entries) before allocating: a still-present entry for the
+            # same block means two concurrent fills for one block.
+            existing = self._entries.get(block)
+            if existing is not None and existing[0] > ready:
+                invariants.violated(
+                    f"{self.name}: duplicate in-flight entry for block "
+                    f"{block:#x} (live until {existing[0]}, new fill at "
+                    f"{ready})")
         self._expire(ready)
         if len(self._entries) >= self.capacity:
             raise RuntimeError(f"{self.name}: insert into full MSHR")
         self._entries[block] = (ready, page_size)
         self.inserts += 1
+        if self._check and len(self._entries) > self.capacity:
+            invariants.violated(
+                f"{self.name}: {len(self._entries)} entries exceed "
+                f"capacity {self.capacity}")
 
     def page_size_of(self, block: int) -> Optional[int]:
         """PPM read port: page-size bit of an in-flight entry, if present."""

@@ -44,7 +44,7 @@ CACHE_VERSION = 1
 
 #: Code-version salt: bump whenever simulation *semantics* change so that
 #: results produced by older code can never be returned for new runs.
-CODE_VERSION = "2026-08-05.1"
+CODE_VERSION = "2026-08-05.2"
 
 
 def cache_enabled() -> bool:
@@ -176,6 +176,48 @@ class CacheStats:
                 f"entries   : {self.entries}\n"
                 f"size      : {size_kb:.1f} KiB\n"
                 f"version   : {_salt()}")
+
+
+@dataclass
+class CacheEntry:
+    """Metadata of one persisted run (for ``repro cache list``)."""
+
+    path: Path
+    size_bytes: int = 0
+    workload: str = "?"
+    prefetcher: str = "?"
+    variant: str = "?"
+    current: bool = False   # entry salt matches the running code version
+
+
+def list_entries() -> "list[CacheEntry]":
+    """Enumerate every readable cache entry, newest first.
+
+    Corrupt entries are skipped (``load`` heals them lazily); entries
+    written by older code versions are listed with ``current=False`` so
+    stale bulk can be spotted before a ``clear``.
+    """
+    objects = cache_dir() / "objects"
+    entries: list[CacheEntry] = []
+    if not objects.is_dir():
+        return entries
+    stamped = []
+    for path in objects.glob("*/*.json"):
+        try:
+            stat_result = path.stat()
+            payload = json.loads(path.read_text())
+            metrics = payload.get("metrics", {})
+            entry = CacheEntry(
+                path=path, size_bytes=stat_result.st_size,
+                workload=str(metrics.get("workload", "?")),
+                prefetcher=str(metrics.get("prefetcher", "?")),
+                variant=str(metrics.get("variant", "?")),
+                current=payload.get("salt") == _salt())
+            stamped.append((stat_result.st_mtime, entry))
+        except (OSError, ValueError, TypeError):
+            continue
+    stamped.sort(key=lambda pair: pair[0], reverse=True)
+    return [entry for _, entry in stamped]
 
 
 def stats() -> CacheStats:

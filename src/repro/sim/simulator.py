@@ -32,8 +32,11 @@ def allocator_seed(trace_name: str) -> int:
     Must not depend on ``hash()``: PYTHONHASHSEED salting would make the
     physical layout differ between worker processes, sessions, and
     machines, breaking parallel/serial equivalence and the disk cache.
+
+    Uses the full 32-bit crc32 value: truncating to 16 bits made distinct
+    trace names collide onto identical physical layouts.
     """
-    return zlib.crc32(trace_name.encode()) & 0xFFFF
+    return zlib.crc32(trace_name.encode()) & 0xFFFFFFFF
 
 
 def build_hierarchy(trace: Trace, config: SystemConfig, prefetcher: str,
@@ -77,18 +80,36 @@ def simulate_trace(trace: Trace, config: Optional[SystemConfig] = None,
                    warmup_fraction: float = 0.5,
                    table_scale: float = 1.0,
                    gb_fraction: float = 0.0,
-                   dueling: Optional[DuelingConfig] = None) -> RunMetrics:
-    """Simulate one prepared trace and return its metrics."""
+                   dueling: Optional[DuelingConfig] = None,
+                   oracle: bool = False) -> RunMetrics:
+    """Simulate one prepared trace and return its metrics.
+
+    With ``oracle=True`` a differential reference model shadows the run
+    (see ``repro.verify.oracle``): every functional decision is replayed
+    by a naive model and diffed.  The resulting ``VerifyReport`` is
+    attached as ``metrics.oracle_report``; a divergence raises
+    ``OracleDivergence``.
+    """
     config = config if config is not None else SystemConfig()
     hierarchy, module = build_hierarchy(
         trace, config, prefetcher, variant, l1d=l1d,
         oracle_page_size=oracle_page_size, table_scale=table_scale,
         dueling=dueling, gb_fraction=gb_fraction)
+    observer = None
+    if oracle:
+        from repro.verify.oracle import OracleDivergence, attach_oracle
+        observer = attach_oracle(hierarchy)
     core = Core(hierarchy, config.rob_entries, config.fetch_width)
     warmup = int(len(trace.records) * warmup_fraction)
     result = core.run(trace, warmup_records=warmup)
-    return collect_metrics(trace.name, prefetcher, variant, hierarchy,
-                           result, module)
+    metrics = collect_metrics(trace.name, prefetcher, variant, hierarchy,
+                              result, module)
+    if observer is not None:
+        report = observer.finish()
+        metrics.oracle_report = report
+        if not report.ok:
+            raise OracleDivergence(report)
+    return metrics
 
 
 def simulate_workload(workload: Union[str, WorkloadSpec],
@@ -99,7 +120,8 @@ def simulate_workload(workload: Union[str, WorkloadSpec],
                       warmup_fraction: float = 0.5,
                       table_scale: float = 1.0,
                       gb_fraction: float = 0.0,
-                      dueling: Optional[DuelingConfig] = None) -> RunMetrics:
+                      dueling: Optional[DuelingConfig] = None,
+                      oracle: bool = False) -> RunMetrics:
     """Generate a catalog workload's trace and simulate it."""
     spec = (catalog(include_non_intensive=True)[workload]
             if isinstance(workload, str) else workload)
@@ -109,4 +131,4 @@ def simulate_workload(workload: Union[str, WorkloadSpec],
         trace, config=config, prefetcher=prefetcher, variant=variant,
         l1d=l1d, oracle_page_size=oracle_page_size,
         warmup_fraction=warmup_fraction, table_scale=table_scale,
-        gb_fraction=gb_fraction, dueling=dueling)
+        gb_fraction=gb_fraction, dueling=dueling, oracle=oracle)

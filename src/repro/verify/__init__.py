@@ -1,0 +1,18 @@
+"""Correctness net for the simulation core.
+
+Two complementary mechanisms guard the paper's subtle boundary logic
+(Pref-PSA windows, Set-Dueling selection, PPM bit propagation) against
+silent drift as the simulator is optimised:
+
+- :mod:`repro.verify.invariants` — cheap runtime assertion hooks woven
+  into the hot subsystems, toggled by ``REPRO_CHECK=1``;
+- :mod:`repro.verify.oracle` — a deliberately naive reference model that
+  replays the same trace alongside the fast hierarchy and diffs state
+  and metrics block-by-block (``repro verify`` / ``oracle=True``);
+- :mod:`repro.verify.golden` — a committed golden-trace corpus with
+  frozen per-run metric digests (``repro verify --golden [--bless]``).
+"""
+
+from repro.verify.invariants import InvariantViolation, enabled, force
+
+__all__ = ["InvariantViolation", "enabled", "force"]

@@ -1,0 +1,152 @@
+"""Golden-trace regression corpus.
+
+A small set of committed trace files (``tests/golden/*.trace.gz``) plus a
+frozen digest of the metrics each produces (``tests/golden/digests.json``).
+Tier-1 tests replay every (trace, variant) pair and compare digests: any
+semantic drift in the simulator — intended or not — shows up as a digest
+mismatch, and intended drift is recorded by regenerating the file with
+``repro verify --golden --bless``.
+
+The digest is a sha256 over the canonical JSON of the run's metrics
+(sorted keys, ``wall_time_s`` excluded — it is the one non-deterministic
+field).  ``digests.json`` also stores a few headline metrics per entry in
+the clear, so a failing diff is readable without re-running anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.sim.cache import metrics_to_dict
+from repro.sim.metrics import RunMetrics
+from repro.sim.simulator import simulate_trace
+from repro.workloads.io import load_trace, save_trace
+from repro.workloads.suites import catalog
+
+#: Workloads committed to the corpus and their trace lengths.  Small on
+#: purpose: the corpus is replayed by tier-1 tests on every run.
+GOLDEN_WORKLOADS: Dict[str, int] = {"lbm": 2500, "mcf": 2500, "milc": 2500}
+
+#: Variants each golden trace is replayed under.
+GOLDEN_VARIANTS = ("original", "psa", "psa-sd")
+
+GOLDEN_PREFETCHER = "spp"
+
+DIGESTS_FILE = "digests.json"
+SCHEMA_VERSION = 1
+
+
+def default_golden_dir() -> Path:
+    """``REPRO_GOLDEN_DIR`` override, else ``<repo>/tests/golden``."""
+    override = os.environ.get("REPRO_GOLDEN_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def metrics_digest(metrics: RunMetrics) -> str:
+    """Canonical content digest of one run's metrics."""
+    data = metrics_to_dict(metrics)
+    data.pop("wall_time_s", None)
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _headline(metrics: RunMetrics) -> dict:
+    return {"ipc": metrics.ipc, "l2_mpki": metrics.l2_mpki,
+            "l2_coverage": metrics.l2_coverage,
+            "pf_issued_l2": metrics.pf_issued_l2}
+
+
+@dataclass
+class GoldenResult:
+    """Outcome of replaying one (trace, variant) pair."""
+
+    trace: str
+    variant: str
+    ok: bool
+    digest: str
+    expected: Optional[str]   # None: no frozen digest yet (needs --bless)
+    headline: dict
+
+    def describe(self) -> str:
+        status = "OK  " if self.ok else ("NEW " if self.expected is None
+                                         else "FAIL")
+        return (f"{status} {self.trace:<14s} {self.variant:<9s} "
+                f"ipc={self.headline['ipc']:.4f} "
+                f"digest={self.digest[:12]}")
+
+
+def trace_files(golden_dir: Optional[Path] = None) -> List[Path]:
+    golden_dir = golden_dir or default_golden_dir()
+    return sorted(golden_dir.glob("*.trace.gz"))
+
+
+def ensure_traces(golden_dir: Optional[Path] = None) -> List[Path]:
+    """Generate any corpus trace file that is not committed yet."""
+    golden_dir = golden_dir or default_golden_dir()
+    golden_dir.mkdir(parents=True, exist_ok=True)
+    specs = catalog(include_non_intensive=True)
+    for name, accesses in GOLDEN_WORKLOADS.items():
+        path = golden_dir / f"{name}.trace.gz"
+        if not path.exists():
+            save_trace(specs[name].generate(accesses), path)
+    return trace_files(golden_dir)
+
+
+def load_digests(golden_dir: Optional[Path] = None) -> dict:
+    golden_dir = golden_dir or default_golden_dir()
+    path = golden_dir / DIGESTS_FILE
+    if not path.exists():
+        return {"schema": SCHEMA_VERSION, "prefetcher": GOLDEN_PREFETCHER,
+                "entries": {}}
+    data = json.loads(path.read_text())
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(f"{path}: unsupported digest schema "
+                         f"{data.get('schema')!r}")
+    return data
+
+
+def run_corpus(golden_dir: Optional[Path] = None,
+               oracle: bool = False) -> List[GoldenResult]:
+    """Replay every committed trace under every golden variant.
+
+    With ``oracle=True`` each replay also runs under the differential
+    oracle, so a digest regression comes with a fast-vs-reference diff.
+    """
+    golden_dir = golden_dir or default_golden_dir()
+    digests = load_digests(golden_dir)
+    results: List[GoldenResult] = []
+    for path in trace_files(golden_dir):
+        trace = load_trace(path)
+        for variant in GOLDEN_VARIANTS:
+            metrics = simulate_trace(trace, prefetcher=GOLDEN_PREFETCHER,
+                                     variant=variant, oracle=oracle)
+            digest = metrics_digest(metrics)
+            entry = digests["entries"].get(f"{trace.name}:{variant}")
+            expected = entry["digest"] if entry else None
+            results.append(GoldenResult(
+                trace=trace.name, variant=variant,
+                ok=digest == expected, digest=digest, expected=expected,
+                headline=_headline(metrics)))
+    return results
+
+
+def bless(golden_dir: Optional[Path] = None) -> Path:
+    """(Re)generate missing traces and freeze the current digests."""
+    golden_dir = golden_dir or default_golden_dir()
+    ensure_traces(golden_dir)
+    entries = {}
+    for result in run_corpus(golden_dir):
+        entries[f"{result.trace}:{result.variant}"] = {
+            "digest": result.digest, **result.headline}
+    payload = {"schema": SCHEMA_VERSION, "prefetcher": GOLDEN_PREFETCHER,
+               "variants": list(GOLDEN_VARIANTS), "entries": entries}
+    path = golden_dir / DIGESTS_FILE
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,48 @@
+"""Runtime invariant toggles for the simulation core.
+
+The checks themselves live next to the state they guard (``memory/cache``,
+``memory/mshr``, ``vm/allocator``, ``core/ppm``, ``core/set_dueling``,
+``memory/hierarchy``); this module only provides the shared on/off switch
+and the violation type, so it must stay dependency-free.
+
+Checks are off by default (the hot path pays one captured-bool test).
+They are enabled by either
+
+- the environment: ``REPRO_CHECK=1`` (read when a simulator object is
+  constructed, so worker processes inherit it), or
+- programmatically: ``force(True)`` (used by tests; ``force(None)``
+  restores the environment-driven behaviour).
+
+A failed check raises :class:`InvariantViolation`, an ``AssertionError``
+subclass: it signals a simulator bug, never a user error.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+_FORCED: Optional[bool] = None
+
+
+class InvariantViolation(AssertionError):
+    """A runtime invariant of the simulation core was broken."""
+
+
+def enabled() -> bool:
+    """True when invariant checks should be active for new objects."""
+    if _FORCED is not None:
+        return _FORCED
+    return os.environ.get("REPRO_CHECK", "").lower() in ("1", "on", "yes",
+                                                         "true")
+
+
+def force(value: Optional[bool]) -> None:
+    """Override the environment switch (``None`` restores env control)."""
+    global _FORCED
+    _FORCED = value
+
+
+def violated(message: str) -> None:
+    """Raise an :class:`InvariantViolation` with *message*."""
+    raise InvariantViolation(message)

@@ -22,9 +22,12 @@ The allocator also exposes the live fraction of allocated memory mapped to
 
 from __future__ import annotations
 
+import bisect
 from typing import Dict, List, Tuple
 
+from repro.verify import invariants
 from repro.memory.address import (
+    BLOCK_BITS,
     PAGE_1G_BITS,
     PAGE_1G_SIZE,
     PAGE_2M_BITS,
@@ -78,6 +81,13 @@ class PhysicalMemoryAllocator:
         self._map_4k: Dict[int, int] = {}    # v4k page -> p4k frame
         self._map_2m: Dict[int, int] = {}    # v2m page -> p2m frame
         self._map_1g: Dict[int, int] = {}    # v1g page -> p1g frame
+        # Reverse views (physical frames handed out, by size).  These give
+        # the verification layer a *pool-geometry* ground truth for the
+        # page size of a physical block, independent of the translation
+        # path the fast simulator used.
+        self._frames_4k: set = set()
+        self._frames_2m: set = set()
+        self._frames_1g: set = set()
         self._huge_decision: Dict[int, bool] = {}  # v2m page -> is huge
         self._gb_decision: Dict[int, bool] = {}    # v1g page -> is 1GB
         self._next_4k = 0
@@ -85,6 +95,38 @@ class PhysicalMemoryAllocator:
         self._next_1g = 0
         # Fig. 3 accounting: (accesses_seen, fraction_2mb) samples.
         self.usage_samples: List[Tuple[int, float]] = []
+        # REPRO_CHECK: claimed physical intervals in 4KB-frame units,
+        # kept sorted and pairwise disjoint.  The page-table node region
+        # is pre-claimed so data frames can never alias PTE storage.
+        self._check = invariants.enabled()
+        self._claimed_starts: List[int] = []
+        self._claimed_ends: List[int] = []
+        if self._check:
+            self._claim_frames(self.pt_node_base, self._pool_4k_base,
+                               "page-table node region")
+
+    # ------------------------------------------------------------------
+    # REPRO_CHECK: physical injectivity
+    # ------------------------------------------------------------------
+    def _claim_frames(self, start: int, end: int, what: str) -> None:
+        """Claim the 4KB-frame interval [start, end); overlap is a bug.
+
+        Every physical frame the allocator hands out (at any page size)
+        passes through here when checks are on, so two virtual pages can
+        never map to overlapping physical memory.
+        """
+        i = bisect.bisect_right(self._claimed_starts, start)
+        if i > 0 and self._claimed_ends[i - 1] > start:
+            invariants.violated(
+                f"allocator: {what} [{start:#x}, {end:#x}) overlaps "
+                f"claimed interval starting at "
+                f"{self._claimed_starts[i - 1]:#x}")
+        if i < len(self._claimed_starts) and self._claimed_starts[i] < end:
+            invariants.violated(
+                f"allocator: {what} [{start:#x}, {end:#x}) overlaps "
+                f"claimed interval starting at {self._claimed_starts[i]:#x}")
+        self._claimed_starts.insert(i, start)
+        self._claimed_ends.insert(i, end)
 
     # ------------------------------------------------------------------
     # THP policy
@@ -124,6 +166,12 @@ class PhysicalMemoryAllocator:
                 frame = self._pool_1g_base + self._next_1g
                 self._next_1g += 1
                 self._map_1g[v1g] = frame
+                self._frames_1g.add(frame)
+                if self._check:
+                    start = frame << (PAGE_1G_BITS - PAGE_4K_BITS)
+                    self._claim_frames(
+                        start, start + (PAGE_1G_SIZE >> PAGE_4K_BITS),
+                        f"1GB page for v1g {v1g:#x}")
             paddr = (frame << PAGE_1G_BITS) | (vaddr & (PAGE_1G_SIZE - 1))
             return paddr, PAGE_SIZE_1G
         v2m = vaddr >> PAGE_2M_BITS
@@ -133,6 +181,12 @@ class PhysicalMemoryAllocator:
                 frame = self._pool_2m_base + self._next_2m
                 self._next_2m += 1
                 self._map_2m[v2m] = frame
+                self._frames_2m.add(frame)
+                if self._check:
+                    start = frame << (PAGE_2M_BITS - PAGE_4K_BITS)
+                    self._claim_frames(
+                        start, start + (PAGE_2M_SIZE >> PAGE_4K_BITS),
+                        f"2MB page for v2m {v2m:#x}")
             paddr = (frame << PAGE_2M_BITS) | (vaddr & (PAGE_2M_SIZE - 1))
             return paddr, PAGE_SIZE_2M
         v4k = vaddr >> PAGE_4K_BITS
@@ -142,12 +196,42 @@ class PhysicalMemoryAllocator:
             frame = self._pool_4k_base + ((self._next_4k * _SCATTER_MULT) & span_mask)
             self._next_4k += 1
             self._map_4k[v4k] = frame
+            self._frames_4k.add(frame)
+            if self._check:
+                self._claim_frames(frame, frame + 1,
+                                   f"4KB page for v4k {v4k:#x}")
         paddr = (frame << PAGE_4K_BITS) | (vaddr & (PAGE_4K_SIZE - 1))
         return paddr, PAGE_SIZE_4K
 
     def page_size(self, vaddr: int) -> int:
         """Ground-truth page size of a virtual address (allocating if new)."""
         return self.translate(vaddr)[1]
+
+    def physical_window_of_block(self, block: int):
+        """Ground truth for a *physical* cache block: its page's block span.
+
+        Classifies the block by pool geometry (which physical frames have
+        been handed out at which size) — deliberately not via the virtual
+        translation path — and returns ``(lo_block, hi_block, page_size)``
+        for the containing page, or ``None`` when the block lies in no
+        allocated data page (page-table nodes, unallocated frames).
+
+        This is what the boundary invariants and the differential oracle
+        check prefetch targets against: a prefetch may never leave the
+        physical page of its trigger, because adjacent frames belong to
+        unrelated (or no) virtual pages.
+        """
+        frame_4k = block >> (PAGE_4K_BITS - BLOCK_BITS)
+        if (frame_4k >> (PAGE_1G_BITS - PAGE_4K_BITS)) in self._frames_1g:
+            lo = block & ~((PAGE_1G_SIZE >> BLOCK_BITS) - 1)
+            return lo, lo + (PAGE_1G_SIZE >> BLOCK_BITS) - 1, PAGE_SIZE_1G
+        if (frame_4k >> (PAGE_2M_BITS - PAGE_4K_BITS)) in self._frames_2m:
+            lo = block & ~((PAGE_2M_SIZE >> BLOCK_BITS) - 1)
+            return lo, lo + (PAGE_2M_SIZE >> BLOCK_BITS) - 1, PAGE_SIZE_2M
+        if frame_4k in self._frames_4k:
+            lo = block & ~((PAGE_4K_SIZE >> BLOCK_BITS) - 1)
+            return lo, lo + (PAGE_4K_SIZE >> BLOCK_BITS) - 1, PAGE_SIZE_4K
+        return None
 
     def is_mapped(self, vaddr: int) -> bool:
         v1g = vaddr >> PAGE_1G_BITS

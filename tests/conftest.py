@@ -4,9 +4,24 @@ import os
 from typing import Optional
 
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.memory.address import BLOCKS_PER_2M, BLOCKS_PER_4K, PAGE_SIZE_4K
 from repro.prefetch.base import BoundaryStats, PrefetchContext
+
+# Shared hypothesis profiles, selected via HYPOTHESIS_PROFILE.  Individual
+# test files must not carry their own @settings: per-file drift is exactly
+# what these profiles replace.
+#
+# - ``ci``  : derandomized (reproducible across runs) and more thorough;
+#   what the CI workflow selects.
+# - ``dev`` : fast feedback for local runs (the default).
+hypothesis_settings.register_profile(
+    "ci", max_examples=75, derandomize=True, deadline=None)
+hypothesis_settings.register_profile(
+    "dev", max_examples=25, deadline=None)
+hypothesis_settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -5,7 +5,7 @@ here: physical contiguity inside 2MB pages and scatter across 4KB pages.
 """
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.memory.address import (
     PAGE_2M_SIZE,
@@ -158,7 +158,6 @@ class TestUsageAccounting:
         assert alloc.usage_samples == [(10, 1.0), (20, 1.0)]
 
 
-@settings(max_examples=30)
 @given(st.lists(st.integers(min_value=0, max_value=2**40), max_size=50),
        st.floats(min_value=0.0, max_value=1.0))
 def test_property_page_offset_preserved(vaddrs, thp):
@@ -171,7 +170,6 @@ def test_property_page_offset_preserved(vaddrs, thp):
             assert paddr % PAGE_4K_SIZE == vaddr % PAGE_4K_SIZE
 
 
-@settings(max_examples=30)
 @given(st.lists(st.integers(min_value=0, max_value=2**36), min_size=2,
                 max_size=60, unique=True),
        st.floats(min_value=0.0, max_value=1.0))

@@ -1,7 +1,7 @@
 """Tests for repro.memory.cache — set-associative cache structure."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.memory.cache import NO_ISSUER, Cache
 from repro.sim.config import CacheConfig
@@ -164,7 +164,6 @@ class TestOccupancy:
             assert cache.contains(block)
 
 
-@settings(max_examples=50)
 @given(st.lists(st.integers(min_value=0, max_value=63), max_size=200))
 def test_property_set_capacity_never_exceeded(blocks):
     cache = small_cache(sets=4, ways=2)
@@ -174,7 +173,6 @@ def test_property_set_capacity_never_exceeded(blocks):
         assert len(cache_set) <= cache.ways
 
 
-@settings(max_examples=50)
 @given(st.lists(st.integers(min_value=0, max_value=63), max_size=200))
 def test_property_most_recent_fill_resident(blocks):
     cache = small_cache(sets=4, ways=2)

@@ -130,13 +130,16 @@ class TestStableSeed:
     """Allocator seeding must not depend on PYTHONHASHSEED (satellite fix)."""
 
     def test_seed_is_crc32(self):
-        assert allocator_seed("lbm") == zlib.crc32(b"lbm") & 0xFFFF
+        assert allocator_seed("lbm") == zlib.crc32(b"lbm") & 0xFFFFFFFF
 
     def test_known_values_pinned(self):
         # Regression pin: crc32 is platform- and session-stable, unlike
-        # hash(), whose PYTHONHASHSEED salting varied per process.
-        assert allocator_seed("lbm") == zlib.crc32(b"lbm") & 0xFFFF == 0xFF96
-        assert allocator_seed("milc") == 0x1424
+        # hash(), whose PYTHONHASHSEED salting varied per process.  The
+        # full 32-bit value is used: the old 16-bit truncation collided
+        # distinct trace names onto identical physical layouts.
+        assert allocator_seed("lbm") == zlib.crc32(b"lbm") & 0xFFFFFFFF \
+            == 0xDA44FF96
+        assert allocator_seed("milc") == 0xB2FD1424
 
     def test_hierarchy_uses_stable_seed(self):
         trace = catalog()["lbm"].generate(64)

@@ -1,0 +1,81 @@
+"""Mutation smoke test: inject a known bug, prove the harness catches it.
+
+The injected bug widens ``prefetch_window`` to the 2MB page regardless of
+the page-size information — exactly the boundary-crossing behaviour the
+paper's mechanism exists to prevent.  Both independent layers must fire:
+
+- the REPRO_CHECK runtime invariant in the hierarchy (which deliberately
+  recomputes the window instead of calling ``prefetch_window``), and
+- the differential oracle's legality check on prefetch-request events.
+
+If either layer goes quiet on this mutation, the harness has rotted.
+"""
+
+import pytest
+
+import repro.core.composite as composite_mod
+import repro.core.psa as psa_mod
+from repro.memory.address import BLOCKS_PER_2M
+from repro.sim.simulator import simulate_workload
+from repro.verify import invariants
+from repro.verify.oracle import OracleDivergence
+
+#: A workload whose SPP stream reliably crosses 4KB boundaries, with THP
+#: mostly off so those crossings are illegal.
+WORKLOAD = "lbm"
+ACCESSES = 2000
+
+
+def evil_prefetch_window(block, page_size):
+    """Mutant: always open the full 2MB window (ignores the PPM bit)."""
+    lo = block & ~(BLOCKS_PER_2M - 1)
+    return lo, lo + BLOCKS_PER_2M - 1
+
+
+@pytest.fixture
+def injected_bug(monkeypatch):
+    # Both modules bound the name at import time; patch each binding.
+    monkeypatch.setattr(psa_mod, "prefetch_window", evil_prefetch_window)
+    monkeypatch.setattr(composite_mod, "prefetch_window",
+                        evil_prefetch_window)
+
+
+def run(**kwargs):
+    return simulate_workload(WORKLOAD, variant="psa", n_accesses=ACCESSES,
+                             **kwargs)
+
+
+class TestHarnessCatchesInjectedBug:
+    def test_runtime_invariant_fires(self, injected_bug):
+        invariants.force(True)
+        try:
+            with pytest.raises(invariants.InvariantViolation,
+                               match="crosses|leaves"):
+                run()
+        finally:
+            invariants.force(None)
+
+    def test_oracle_diverges(self, injected_bug):
+        invariants.force(False)   # isolate the oracle layer
+        try:
+            with pytest.raises(OracleDivergence) as excinfo:
+                run(oracle=True)
+            text = excinfo.value.report.to_text()
+            assert "crosses" in text or "leaves" in text
+        finally:
+            invariants.force(None)
+
+
+class TestCleanRunStaysQuiet:
+    """The same scenario without the mutant must pass both layers."""
+
+    def test_invariants_quiet(self):
+        invariants.force(True)
+        try:
+            run()
+        finally:
+            invariants.force(None)
+
+    def test_oracle_quiet(self):
+        metrics = run(oracle=True)
+        assert metrics.oracle_report.ok

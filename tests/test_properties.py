@@ -5,7 +5,7 @@ check invariants that must hold regardless of pattern, page sizes, or
 prefetching variant.
 """
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.factory import make_l2_module
 from repro.cpu.core import Core
@@ -24,17 +24,21 @@ access_lists = st.lists(
     min_size=1, max_size=120)
 
 
-def build(variant="psa", thp=0.9):
+ALL_VARIANTS = ["none", "original", "psa", "psa-2mb", "psa-sd"]
+
+
+def build(variant="psa", thp=0.9, llc=False):
     allocator = PhysicalMemoryAllocator(thp_fraction=thp, seed=3)
     module = make_l2_module("spp", variant, CONFIG)
-    return MemoryHierarchy(CONFIG, allocator, l2_module=module)
+    llc_module = make_l2_module("spp", "psa", CONFIG) if llc else None
+    return MemoryHierarchy(CONFIG, allocator, l2_module=module,
+                           llc_module=llc_module)
 
 
-@settings(max_examples=25, deadline=None)
-@given(access_lists, st.sampled_from(["none", "original", "psa", "psa-sd"]))
-def test_ready_never_before_request(accesses, variant):
+@given(access_lists, st.sampled_from(ALL_VARIANTS), st.booleans())
+def test_ready_never_before_request(accesses, variant, llc):
     """Data can never be ready before the request was made."""
-    hierarchy = build(variant)
+    hierarchy = build(variant, llc=llc)
     now = 0.0
     for vaddr, is_store in accesses:
         if is_store:
@@ -45,12 +49,12 @@ def test_ready_never_before_request(accesses, variant):
         now += 1.0
 
 
-@settings(max_examples=25, deadline=None)
-@given(access_lists, st.floats(min_value=0.0, max_value=1.0))
-def test_accounting_identities(accesses, thp):
+@given(access_lists, st.floats(min_value=0.0, max_value=1.0),
+       st.sampled_from(ALL_VARIANTS), st.booleans())
+def test_accounting_identities(accesses, thp, variant, llc):
     """Hits + misses == accesses at every level; coverage/accuracy in
     [0, 1]; prefetch issue counters are consistent."""
-    hierarchy = build("psa", thp=thp)
+    hierarchy = build(variant, thp=thp, llc=llc)
     now = 0.0
     for vaddr, is_store in accesses:
         if is_store:
@@ -63,11 +67,12 @@ def test_accounting_identities(accesses, thp):
         assert cache.useful_prefetches <= cache.demand_hits
     assert 0.0 <= hierarchy.l2_coverage() <= 1.0
     assert 0.0 <= hierarchy.l2_accuracy() <= 1.0
+    assert 0.0 <= hierarchy.llc_coverage() <= 1.0
+    assert 0.0 <= hierarchy.llc_accuracy() <= 1.0
     assert hierarchy.l2c.useful_prefetches <= hierarchy.pf_issued_l2 + \
         hierarchy.pf_issued_llc + hierarchy.l1_pf_issued
 
 
-@settings(max_examples=25, deadline=None)
 @given(access_lists)
 def test_repeated_access_is_fast(accesses):
     """Immediately re-loading the same address far in the future is an
@@ -82,7 +87,6 @@ def test_repeated_access_is_fast(accesses):
         now = later + 10.0
 
 
-@settings(max_examples=15, deadline=None)
 @given(access_lists)
 def test_core_determinism(accesses):
     """Two identical runs produce bit-identical results."""
@@ -98,7 +102,6 @@ def test_core_determinism(accesses):
     assert a.instructions == b.instructions
 
 
-@settings(max_examples=15, deadline=None)
 @given(access_lists)
 def test_translation_consistency_under_load(accesses):
     """The hierarchy and a fresh allocator agree on every translation

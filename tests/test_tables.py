@@ -1,7 +1,7 @@
 """Tests for repro.prefetch.tables — bounded hardware tables."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.prefetch.tables import BoundedTable, saturate
 
@@ -81,7 +81,6 @@ class TestSaturate:
         assert saturate(99, 0, 7) == 7
 
 
-@settings(max_examples=50)
 @given(st.lists(st.tuples(st.integers(0, 100), st.integers()), max_size=300),
        st.integers(min_value=1, max_value=16))
 def test_property_capacity_never_exceeded(ops, capacity):
@@ -91,7 +90,6 @@ def test_property_capacity_never_exceeded(ops, capacity):
         assert len(table) <= capacity
 
 
-@settings(max_examples=50)
 @given(st.lists(st.integers(0, 50), min_size=1, max_size=200))
 def test_property_last_inserted_always_present(keys):
     table = BoundedTable(4)

@@ -1,0 +1,107 @@
+"""Stateful fuzzing of fast-vs-oracle equivalence.
+
+A hypothesis state machine drives one hierarchy — runtime invariants
+forced on, differential oracle attached — through random interleavings of
+loads, stores, time jumps, and a mid-run stats reset.  Teardown runs the
+oracle's full block-by-block diff; any interleaving that desynchronises
+the two models shrinks to a minimal reproducer.
+"""
+
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, rule
+
+from repro.core.factory import make_l2_module
+from repro.cpu.core import Core
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.config import SystemConfig
+from repro.vm.allocator import PhysicalMemoryAllocator
+from repro.verify import invariants
+from repro.verify.oracle import attach_oracle
+
+#: Small enough for page reuse (TLB/cache hits), large enough to span
+#: many 4KB and several 2MB pages.
+VADDR_SPACE = 1 << 26
+
+
+class FastVsOracleMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        invariants.force(True)
+        config = SystemConfig()
+        allocator = PhysicalMemoryAllocator(thp_fraction=0.5, seed=11)
+        # psa-sd exercises the most machinery: composite prefetcher,
+        # Set-Dueling roles, Csel updates, annotation bits.
+        module = make_l2_module("spp", "psa-sd", config)
+        self.hierarchy = MemoryHierarchy(config, allocator,
+                                         l2_module=module)
+        self.observer = attach_oracle(self.hierarchy)
+        self.now = 0.0
+
+    @rule(vaddr=st.integers(min_value=0, max_value=VADDR_SPACE - 1),
+          store=st.booleans())
+    def access(self, vaddr, store):
+        if store:
+            self.hierarchy.store(vaddr, 0x40, self.now)
+        else:
+            ready = self.hierarchy.load(vaddr, 0x40, self.now)
+            assert ready >= self.now
+        self.now += 1.0
+
+    @rule(near=st.integers(min_value=-256, max_value=256),
+          base=st.integers(min_value=0, max_value=VADDR_SPACE - 1))
+    def access_near(self, near, base):
+        """Strided neighbours: trains the prefetcher into issuing."""
+        vaddr = max(0, base + near * 64)
+        self.hierarchy.load(vaddr, 0x80, self.now)
+        self.now += 1.0
+
+    @rule(jump=st.floats(min_value=1.0, max_value=100_000.0))
+    def advance_time(self, jump):
+        """Let in-flight fills land (exercises merge-vs-fresh paths)."""
+        self.now += jump
+
+    @rule()
+    def reset_stats(self):
+        """The warmup boundary can fall anywhere in the stream."""
+        self.hierarchy.reset_stats()
+
+    def teardown(self):
+        try:
+            report = self.observer.finish()
+            assert report.ok, report.to_text()
+        finally:
+            invariants.force(None)
+
+
+TestFastVsOracle = FastVsOracleMachine.TestCase
+
+
+def test_fuzz_through_core_model():
+    """The OOO core driver on top must also stay in sync (it reorders
+    nothing semantically, but issues with its own timing)."""
+    import random
+
+    rng = random.Random(5)
+    invariants.force(True)
+    try:
+        config = SystemConfig()
+        allocator = PhysicalMemoryAllocator(thp_fraction=0.7, seed=13)
+        module = make_l2_module("spp", "psa-sd", config)
+        hierarchy = MemoryHierarchy(config, allocator, l2_module=module)
+        observer = attach_oracle(hierarchy)
+        from repro.workloads.trace import KIND_LOAD, KIND_STORE, Trace
+        records = []
+        base = 0
+        for _ in range(1500):
+            if rng.random() < 0.3:
+                base = rng.randrange(VADDR_SPACE)
+            else:
+                base = (base + 64 * rng.randrange(1, 4)) % VADDR_SPACE
+            kind = KIND_STORE if rng.random() < 0.2 else KIND_LOAD
+            records.append((0x4, base, kind, rng.randrange(4), False))
+        core = Core(hierarchy, config.rob_entries, config.fetch_width)
+        core.run(Trace("fuzz", records), warmup_records=700)
+        report = observer.finish()
+        assert report.ok, report.to_text()
+    finally:
+        invariants.force(None)

@@ -1,0 +1,147 @@
+"""Differential-oracle tests: the naive reference model must agree with
+the fast hierarchy on every workload/variant pair it shadows."""
+
+import pytest
+
+from repro.cpu.core import Core
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import build_hierarchy, simulate_workload
+from repro.verify import invariants
+from repro.verify.oracle import (
+    OracleDivergence,
+    OracleObserver,
+    attach_oracle,
+)
+from repro.workloads.suites import catalog
+
+SMOKE_ACCESSES = 2000
+
+
+def run_with_oracle(workload="lbm", **kwargs):
+    kwargs.setdefault("n_accesses", SMOKE_ACCESSES)
+    return simulate_workload(workload, oracle=True, **kwargs)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("variant",
+                             ["none", "original", "psa", "psa-2mb", "psa-sd"])
+    def test_all_variants_match(self, variant):
+        metrics = run_with_oracle(variant=variant)
+        assert metrics.oracle_report.ok
+
+    @pytest.mark.parametrize("workload", ["mcf", "milc", "bfs.road"])
+    def test_other_workloads_match(self, workload):
+        metrics = run_with_oracle(workload, variant="psa")
+        assert metrics.oracle_report.ok
+
+    def test_with_ppm_disabled(self):
+        metrics = run_with_oracle(config=SystemConfig(ppm_enabled=False))
+        assert metrics.oracle_report.ok
+
+    def test_with_oracle_page_size(self):
+        metrics = run_with_oracle(oracle_page_size=True)
+        assert metrics.oracle_report.ok
+
+    def test_with_l1d_prefetcher_and_tlb_prefetch(self):
+        metrics = run_with_oracle(l1d="ipcp++",
+                                  config=SystemConfig(tlb_prefetch=True))
+        assert metrics.oracle_report.ok
+
+    def test_with_1gb_pages(self):
+        metrics = run_with_oracle(gb_fraction=0.4)
+        assert metrics.oracle_report.ok
+
+    def test_with_invariants_also_enabled(self):
+        invariants.force(True)
+        try:
+            metrics = run_with_oracle(variant="psa-sd")
+            assert metrics.oracle_report.ok
+        finally:
+            invariants.force(None)
+
+    def test_report_counters_populated(self):
+        report = run_with_oracle().oracle_report
+        assert report.accesses == SMOKE_ACCESSES
+        assert report.events > report.accesses
+        assert "l2c.demand_misses" in report.counters
+        assert "translator.walks" in report.counters
+        assert "OK" in report.headline()
+
+
+class TestLLCPrefetcher:
+    def test_llc_module_matches(self):
+        cfg = SystemConfig(ppm_to_llc=True)
+        trace = catalog()["mcf"].generate(SMOKE_ACCESSES)
+        hierarchy, _ = build_hierarchy(trace, cfg, "spp", "psa",
+                                       llc_prefetcher="spp")
+        observer = attach_oracle(hierarchy)
+        core = Core(hierarchy, cfg.rob_entries, cfg.fetch_width)
+        core.run(trace, warmup_records=SMOKE_ACCESSES // 2)
+        assert observer.finish().ok
+
+
+class TestAttachment:
+    def _fresh(self):
+        cfg = SystemConfig()
+        trace = catalog()["lbm"].generate(50)
+        hierarchy, _ = build_hierarchy(trace, cfg, "spp", "psa")
+        return cfg, trace, hierarchy
+
+    def test_double_attach_rejected(self):
+        _, _, hierarchy = self._fresh()
+        attach_oracle(hierarchy)
+        with pytest.raises(ValueError, match="already has an observer"):
+            attach_oracle(hierarchy)
+
+    def test_attach_after_accesses_rejected(self):
+        cfg, trace, hierarchy = self._fresh()
+        Core(hierarchy, cfg.rob_entries, cfg.fetch_width).run(trace)
+        with pytest.raises(ValueError, match="before the first access"):
+            OracleObserver(hierarchy)
+
+    def test_divergence_detected_on_tampered_state(self):
+        """Silently mutating fast-side state must fail the final diff."""
+        cfg, trace, hierarchy = self._fresh()
+        observer = attach_oracle(hierarchy)
+        Core(hierarchy, cfg.rob_entries, cfg.fetch_width).run(trace)
+        hierarchy.l1d.fill(0x7777777)   # unobserved fill
+        report = observer.finish()
+        assert not report.ok
+        assert any("l1d" in d for d in report.divergences)
+
+    def test_divergence_raises_from_simulate(self, monkeypatch):
+        """A fast-side counter drift surfaces as OracleDivergence."""
+        from repro.memory.hierarchy import MemoryHierarchy
+        original = MemoryHierarchy.load
+
+        def drifting_load(self, vaddr, ip, now):
+            self.loads += 1   # double-count: the kind of bug we hunt
+            return original(self, vaddr, ip, now)
+
+        monkeypatch.setattr(MemoryHierarchy, "load", drifting_load)
+        with pytest.raises(OracleDivergence) as excinfo:
+            run_with_oracle(n_accesses=400)
+        assert "hierarchy.loads" in excinfo.value.report.to_text()
+
+
+class TestInvariantToggle:
+    def test_env_values(self, monkeypatch):
+        for value, expected in [("1", True), ("on", True), ("yes", True),
+                                ("true", True), ("0", False), ("", False)]:
+            monkeypatch.setenv("REPRO_CHECK", value)
+            assert invariants.enabled() is expected
+        monkeypatch.delenv("REPRO_CHECK")
+        assert invariants.enabled() is False
+
+    def test_force_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "0")
+        invariants.force(True)
+        try:
+            assert invariants.enabled() is True
+        finally:
+            invariants.force(None)
+        assert invariants.enabled() is False
+
+    def test_violated_raises(self):
+        with pytest.raises(invariants.InvariantViolation, match="boom"):
+            invariants.violated("boom")
