@@ -11,13 +11,18 @@ Commands
   describe an existing trace file.
 - ``report``   : concatenate the archived figure outputs under
   ``benchmarks/results/`` into one reproduction report.
-- ``cache``    : inspect or clear the persistent on-disk run cache.
+- ``cache``    : inspect, verify (``cache verify [--prune]``), or clear
+  the persistent on-disk run cache.
 
 ``run`` and ``compare`` execute through the batch engine
 (``repro.sim.runner``): results are deduplicated, parallelised across
 ``--jobs``/``REPRO_JOBS`` workers, and persisted under
 ``REPRO_CACHE_DIR`` (default ``~/.cache/repro``) so repeated invocations
-are served from disk.
+are served from disk.  Runs execute under supervision: failures are
+reported as a per-run summary alongside whatever partial results
+completed (exit code 1) instead of a stack trace; ``--strict`` restores
+the raising behaviour, and ``--timeout``/``--retries`` override the
+``REPRO_RUN_TIMEOUT``/``REPRO_MAX_RETRIES`` defaults.
 
 Examples::
 
@@ -89,6 +94,15 @@ def _add_sim_arguments(parser: argparse.ArgumentParser) -> None:
                         help="bypass the in-process and on-disk run caches")
     parser.add_argument("--engine-stats", action="store_true",
                         help="print engine dedup/cache/throughput summary")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-run watchdog seconds (default: "
+                             "REPRO_RUN_TIMEOUT; <=0 disables)")
+    parser.add_argument("--retries", type=int, default=None,
+                        help="extra attempts for transient failures "
+                             "(default: REPRO_MAX_RETRIES)")
+    parser.add_argument("--strict", action="store_true",
+                        help="raise on the first run failure instead of "
+                             "reporting partial results")
 
 
 def _config_from(args) -> SystemConfig:
@@ -111,23 +125,39 @@ def _request_for(args, config, variant) -> RunRequest:
                       gb_fraction=args.gb_fraction, config=config)
 
 
+def _supervised_batch(args, requests):
+    """Run a CLI batch: strict mode raises, default mode returns a
+    BatchResult whose failures have already been summarised on stderr."""
+    batch = run_batch(requests, jobs=args.jobs,
+                      use_cache=not args.no_cache,
+                      strict=args.strict, timeout=args.timeout,
+                      retries=args.retries)
+    if args.strict:
+        return batch, 0   # a plain metrics list; failures already raised
+    if not batch.ok:
+        for line in batch.describe_failures():
+            print(line, file=sys.stderr)
+        print(batch.summary_line(), file=sys.stderr)
+    return batch.metrics, (0 if batch.ok else 1)
+
+
 def cmd_run(args) -> int:
     config = _config_from(args)
     requests = [_request_for(args, config, args.variant)]
     if args.baseline:
         requests.append(_request_for(args, config, args.baseline))
-    results = run_batch(requests, jobs=args.jobs,
-                        use_cache=not args.no_cache)
+    results, code = _supervised_batch(args, requests)
     metrics = results[0]
-    title = f"{args.workload}: {args.prefetcher}-{args.variant}"
-    print(format_table(["metric", "value"], _metrics_rows(metrics),
-                       title=title))
-    if args.baseline:
-        gain = (metrics.speedup_over(results[1]) - 1) * 100
-        print(f"\nspeedup over {args.prefetcher}-{args.baseline}: "
-              f"{gain:+.2f}%")
+    if metrics is not None:
+        title = f"{args.workload}: {args.prefetcher}-{args.variant}"
+        print(format_table(["metric", "value"], _metrics_rows(metrics),
+                           title=title))
+        if args.baseline and results[1] is not None:
+            gain = (metrics.speedup_over(results[1]) - 1) * 100
+            print(f"\nspeedup over {args.prefetcher}-{args.baseline}: "
+                  f"{gain:+.2f}%")
     _engine_epilogue(args)
-    return 0
+    return code
 
 
 def cmd_compare(args) -> int:
@@ -138,11 +168,15 @@ def cmd_compare(args) -> int:
             print(f"error: unknown variant {variant!r} "
                   f"(choose from {VARIANTS})", file=sys.stderr)
             return 2
-    metrics_list = run_batch(
-        [_request_for(args, config, variant) for variant in variants],
-        jobs=args.jobs, use_cache=not args.no_cache)
-    results = dict(zip(variants, metrics_list))
-    baseline = results[variants[0]]
+    metrics_list, code = _supervised_batch(
+        args, [_request_for(args, config, variant) for variant in variants])
+    results = {v: m for v, m in zip(variants, metrics_list)
+               if m is not None}
+    if not results:
+        _engine_epilogue(args)
+        return code
+    baseline_variant = next(iter(results))
+    baseline = results[baseline_variant]
     rows = []
     for variant, metrics in results.items():
         rows.append([f"{args.prefetcher}-{variant}", metrics.ipc,
@@ -150,10 +184,10 @@ def cmd_compare(args) -> int:
                      (metrics.speedup_over(baseline) - 1) * 100])
     print(format_table(
         ["config", "IPC", "L2 MPKI", "L2 coverage %",
-         f"vs {variants[0]} %"],
+         f"vs {baseline_variant} %"],
         rows, title=f"{args.workload}: variant comparison"))
     _engine_epilogue(args)
-    return 0
+    return code
 
 
 def cmd_cache(args) -> int:
@@ -174,6 +208,10 @@ def cmd_cache(args) -> int:
             rows, title=f"{len(entries)} cache entries "
                         f"({disk_cache.cache_dir()})"))
         return 0
+    if args.action == "verify":
+        report = disk_cache.verify(prune=args.prune)
+        print(report.describe())
+        return 1 if (report.corrupt or report.stale) and not args.prune else 0
     # clear
     removed = disk_cache.clear()
     print(f"removed {removed} cache entries from {disk_cache.cache_dir()}")
@@ -401,10 +439,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cache = sub.add_parser("cache",
                              help="inspect/clear the on-disk run cache")
-    p_cache.add_argument("action", choices=["stats", "list", "clear"])
+    p_cache.add_argument("action",
+                         choices=["stats", "list", "verify", "clear"])
     p_cache.add_argument("--dir", default=None,
                          help="cache directory (default: REPRO_CACHE_DIR "
                               "or ~/.cache/repro)")
+    p_cache.add_argument("--prune", action="store_true",
+                         help="with verify: move corrupt/stale entries "
+                              "to <cache>/quarantine/")
     p_cache.set_defaults(func=cmd_cache)
     return parser
 

@@ -19,7 +19,10 @@ auditability) plus the ``metrics`` payload.  Guarantees:
   directory and ``os.replace``d into place, so concurrent writers (parallel
   workers, parallel pytest sessions) can never expose a torn entry.
 - **Corruption tolerance**: any unreadable/undecodable/mis-shaped entry is
-  treated as a miss (and best-effort deleted), never an exception.
+  treated as a miss and quarantined to ``<cache>/quarantine/`` (never an
+  exception, never a silent delete) so torn writes remain auditable;
+  ``verify`` scans the whole cache and ``verify(prune=True)`` quarantines
+  corrupt and version-stale entries in bulk (``repro cache verify``).
 - **Versioned invalidation**: the key is salted with ``CACHE_VERSION`` and
   ``CODE_VERSION``; bumping either orphans every old entry.
 """
@@ -73,6 +76,33 @@ def key_digest(key: tuple) -> str:
 def entry_path(key: tuple) -> Path:
     digest = key_digest(key)
     return cache_dir() / "objects" / digest[:2] / f"{digest[2:]}.json"
+
+
+def quarantine_dir() -> Path:
+    """Where unreadable/stale entries are moved instead of deleted."""
+    return cache_dir() / "quarantine"
+
+
+def _quarantine(path: Path) -> Optional[Path]:
+    """Move a bad entry into the quarantine directory.
+
+    Falls back to unlinking when the move itself fails (e.g. read-only
+    quarantine dir), so a bad entry can never keep poisoning lookups.
+    Returns the quarantined path, or None when the entry was unlinked.
+    """
+    try:
+        quarantine_dir().mkdir(parents=True, exist_ok=True)
+        dest = quarantine_dir() / path.name
+        if dest.exists():
+            dest = quarantine_dir() / f"{path.stem}.{os.getpid()}{path.suffix}"
+        os.replace(path, dest)
+        return dest
+    except OSError:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
 
 
 # ----------------------------------------------------------------------
@@ -148,11 +178,9 @@ def load(key: tuple) -> Optional[RunMetrics]:
         return None
     except (OSError, ValueError, TypeError, KeyError):
         # Torn/garbled entry (e.g. crashed writer on a non-atomic
-        # filesystem): drop it so the slot heals on the next store.
-        try:
-            path.unlink()
-        except OSError:
-            pass
+        # filesystem): quarantine it so the slot heals on the next
+        # store while the bad bytes stay auditable.
+        _quarantine(path)
         return None
 
 
@@ -232,6 +260,72 @@ def stats() -> CacheStats:
         except OSError:
             continue
     return result
+
+
+def _entry_status(path: Path) -> str:
+    """Classify one entry: ``ok`` | ``stale`` (old version) | ``corrupt``."""
+    try:
+        payload = json.loads(path.read_text())
+        if (payload.get("version") != CACHE_VERSION
+                or payload.get("salt") != _salt()):
+            return "stale"
+        metrics_from_dict(payload["metrics"])
+        return "ok"
+    except (OSError, ValueError, TypeError, KeyError, AttributeError):
+        return "corrupt"
+
+
+@dataclass
+class CacheVerifyReport:
+    """Result of a full cache scan (``repro cache verify``)."""
+
+    directory: Path
+    scanned: int = 0
+    ok: int = 0
+    corrupt: int = 0
+    stale: int = 0
+    quarantined: "list[Path]" = dataclasses.field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [f"cache dir : {self.directory}",
+                 f"scanned   : {self.scanned}",
+                 f"ok        : {self.ok}",
+                 f"corrupt   : {self.corrupt}",
+                 f"stale     : {self.stale}"]
+        if self.quarantined:
+            lines.append(f"quarantined {len(self.quarantined)} entries "
+                         f"to {quarantine_dir()}")
+        elif self.corrupt or self.stale:
+            lines.append("re-run with --prune to quarantine them")
+        return "\n".join(lines)
+
+
+def verify(prune: bool = False) -> CacheVerifyReport:
+    """Scan every cache entry, classifying it as ok/stale/corrupt.
+
+    With ``prune=True``, corrupt and stale entries are moved to the
+    quarantine directory (not deleted) so they stop serving lookups but
+    remain available for inspection.
+    """
+    report = CacheVerifyReport(directory=cache_dir())
+    objects = cache_dir() / "objects"
+    if not objects.is_dir():
+        return report
+    for path in sorted(objects.glob("*/*.json")):
+        report.scanned += 1
+        status = _entry_status(path)
+        if status == "ok":
+            report.ok += 1
+            continue
+        if status == "stale":
+            report.stale += 1
+        else:
+            report.corrupt += 1
+        if prune:
+            dest = _quarantine(path)
+            if dest is not None:
+                report.quarantined.append(dest)
+    return report
 
 
 def clear() -> int:

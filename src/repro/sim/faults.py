@@ -1,0 +1,284 @@
+"""Deterministic fault injection for the batch engine.
+
+The supervision layer (``repro.sim.supervisor``) is only trustworthy if
+its failure paths are exercised; this module makes failures first-class,
+reproducible inputs.  A fault *spec* — from the ``REPRO_FAULTS``
+environment variable or passed programmatically — describes which runs
+of a batch fail and how:
+
+    spec    := clause (";" clause)*
+    clause  := kind target (":" key "=" value)*
+    target  := "@" idx ("+" idx)*          explicit 0-based run indices
+             | "~" count "/" seed          seeded random sample of runs
+    kind    := "crash" | "hang" | "error" | "truncate" | "corrupt"
+
+Examples::
+
+    REPRO_FAULTS="crash@4;hang@9:secs=30"      # the acceptance scenario
+    REPRO_FAULTS="error@0:first=1"             # fail attempt 0, then heal
+    REPRO_FAULTS="crash~3/42"                  # 3 seeded-random crashes
+
+Parameters: ``secs=<float>`` (hang duration, default 30),
+``first=<int>`` (fire only on the first N attempts; 0 = every attempt,
+so ``first=1`` models a transient that a retry cures).
+
+Indices refer to positions in the batch's *scheduled* run list (after
+dedupe and cache hits), which is what makes a schedule deterministic: a
+rerun of a partially cached batch renumbers only the cache misses.
+
+Kinds ``crash``/``hang``/``error``/``truncate`` fire at the
+:func:`checkpoint` the simulator calls at the start of every run, inside
+the real worker call stack.  ``crash`` terminates the worker process
+with ``os._exit(137)`` when running in a supervised pool worker
+(exercising ``BrokenProcessPool`` recovery) and raises
+:class:`InjectedCrash` in-process otherwise, so serial fallback resolves
+persistent crashers without killing the host.  ``corrupt`` is applied by
+the parent *after* the run's cache entry is written (garbling the entry
+on disk) to exercise the cache quarantine path.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.workloads.io import TraceFormatError
+
+ENV_VAR = "REPRO_FAULTS"
+
+KINDS = ("crash", "hang", "error", "truncate", "corrupt")
+
+
+class FaultSpecError(ValueError):
+    """A ``REPRO_FAULTS`` spec failed to parse."""
+
+
+class InjectedError(RuntimeError):
+    """Base class for injected failures (treated as transient)."""
+
+
+class InjectedCrash(InjectedError):
+    """An injected worker crash, raised in-process (serial execution)."""
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """What happens when a targeted run reaches a checkpoint."""
+
+    kind: str
+    secs: float = 30.0    # hang duration
+    first: int = 0        # fire only on attempts < first (0 = always)
+
+    def fires(self, attempt: int) -> bool:
+        return self.first == 0 or attempt < self.first
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One parsed spec clause: an action plus its run targets."""
+
+    action: FaultAction
+    indices: Optional[Tuple[int, ...]] = None   # explicit "@" targets
+    count: int = 0                              # seeded "~" sample size
+    seed: int = 0
+
+    def resolve(self, n_runs: int) -> Tuple[int, ...]:
+        """Concrete run indices for a batch of *n_runs* scheduled runs."""
+        if self.indices is not None:
+            return tuple(i for i in self.indices if i < n_runs)
+        count = min(self.count, n_runs)
+        if count <= 0:
+            return ()
+        return tuple(sorted(
+            random.Random(self.seed).sample(range(n_runs), count)))
+
+
+def _parse_params(clause: str, raw: List[str]) -> Dict[str, float]:
+    params: Dict[str, float] = {}
+    for item in raw:
+        key, sep, value = item.partition("=")
+        if not sep or not value:
+            raise FaultSpecError(
+                f"fault clause {clause!r}: malformed parameter {item!r}")
+        if key == "secs":
+            params["secs"] = float(value)
+        elif key == "first":
+            params["first"] = int(value)
+        else:
+            raise FaultSpecError(
+                f"fault clause {clause!r}: unknown parameter {key!r} "
+                "(expected secs= or first=)")
+    return params
+
+
+def _parse_clause(clause: str) -> FaultClause:
+    head, *raw_params = clause.split(":")
+    try:
+        params = _parse_params(clause, raw_params)
+    except ValueError as exc:
+        if isinstance(exc, FaultSpecError):
+            raise
+        raise FaultSpecError(
+            f"fault clause {clause!r}: bad parameter value ({exc})") from exc
+
+    explicit = "@" in head
+    seeded = "~" in head
+    if explicit == seeded:
+        raise FaultSpecError(
+            f"fault clause {clause!r}: expected kind@idx[+idx...] or "
+            "kind~count/seed")
+    sep = "@" if explicit else "~"
+    kind, _, target = head.partition(sep)
+    if kind not in KINDS:
+        raise FaultSpecError(
+            f"fault clause {clause!r}: unknown kind {kind!r} "
+            f"(expected one of {', '.join(KINDS)})")
+    action = FaultAction(kind=kind, **params)
+
+    if explicit:
+        try:
+            indices = tuple(int(part) for part in target.split("+"))
+        except ValueError as exc:
+            raise FaultSpecError(
+                f"fault clause {clause!r}: bad run index in "
+                f"{target!r}") from exc
+        if any(i < 0 for i in indices):
+            raise FaultSpecError(
+                f"fault clause {clause!r}: negative run index")
+        return FaultClause(action=action, indices=indices)
+
+    count_str, sep, seed_str = target.partition("/")
+    if not sep or not count_str or not seed_str:
+        raise FaultSpecError(
+            f"fault clause {clause!r}: seeded target must be "
+            "count/seed")
+    try:
+        count, seed = int(count_str), int(seed_str)
+    except ValueError as exc:
+        raise FaultSpecError(
+            f"fault clause {clause!r}: bad count/seed {target!r}") from exc
+    if count < 0:
+        raise FaultSpecError(f"fault clause {clause!r}: negative count")
+    return FaultClause(action=action, count=count, seed=seed)
+
+
+def parse(spec: str) -> List[FaultClause]:
+    """Parse a fault spec string into clauses (raises FaultSpecError)."""
+    clauses = []
+    for part in spec.split(";"):
+        part = part.strip()
+        if part:
+            clauses.append(_parse_clause(part))
+    return clauses
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A resolved schedule: run index -> the actions targeting it."""
+
+    actions: Dict[int, Tuple[FaultAction, ...]] = field(default_factory=dict)
+
+    def for_run(self, index: int) -> Tuple[FaultAction, ...]:
+        return self.actions.get(index, ())
+
+    def checkpoint_actions(self, index: int) -> Tuple[FaultAction, ...]:
+        """Actions injected inside the run (everything but ``corrupt``)."""
+        return tuple(a for a in self.for_run(index) if a.kind != "corrupt")
+
+    def post_store_actions(self, index: int) -> Tuple[FaultAction, ...]:
+        """Actions applied after the run's cache entry is written."""
+        return tuple(a for a in self.for_run(index) if a.kind == "corrupt")
+
+
+def resolve(spec: str, n_runs: int) -> FaultPlan:
+    """Resolve a spec against a batch of *n_runs* scheduled runs."""
+    actions: Dict[int, List[FaultAction]] = {}
+    for clause in parse(spec):
+        for index in clause.resolve(n_runs):
+            actions.setdefault(index, []).append(clause.action)
+    return FaultPlan({i: tuple(a) for i, a in actions.items()})
+
+
+def plan_from_env(n_runs: int) -> Optional[FaultPlan]:
+    """The plan armed via ``REPRO_FAULTS``, or None when unset/empty."""
+    spec = os.environ.get(ENV_VAR, "").strip()
+    if not spec:
+        return None
+    return resolve(spec, n_runs)
+
+
+# ----------------------------------------------------------------------
+# Injection points
+# ----------------------------------------------------------------------
+
+#: True only in a supervised pool worker (set by the pool initializer,
+#: NOT inherited through the environment) so ``crash`` hard-kills a real
+#: worker but raises in-process during serial execution.
+_IN_POOL_WORKER = False
+
+#: The actions armed for the currently executing run attempt.
+_ARMED: Tuple[FaultAction, ...] = ()
+_ATTEMPT = 0
+
+
+def mark_pool_worker() -> None:
+    global _IN_POOL_WORKER
+    _IN_POOL_WORKER = True
+
+
+def arm(actions: Iterable[FaultAction], attempt: int) -> None:
+    """Arm *actions* for the run attempt about to execute."""
+    global _ARMED, _ATTEMPT
+    _ARMED = tuple(actions)
+    _ATTEMPT = attempt
+
+
+def disarm() -> None:
+    global _ARMED, _ATTEMPT
+    _ARMED = ()
+    _ATTEMPT = 0
+
+
+def checkpoint(site: str = "run") -> None:
+    """Fire any armed in-run faults; a no-op when nothing is armed.
+
+    Called by ``simulate_workload`` at the start of every run so injected
+    faults surface inside the real execution stack.
+    """
+    if not _ARMED:
+        return
+    for action in _ARMED:
+        if not action.fires(_ATTEMPT):
+            continue
+        if action.kind == "hang":
+            time.sleep(action.secs)
+        elif action.kind == "crash":
+            if _IN_POOL_WORKER:
+                os._exit(137)
+            raise InjectedCrash(
+                f"injected worker crash at {site} checkpoint")
+        elif action.kind == "error":
+            raise InjectedError(
+                f"injected transient error at {site} checkpoint")
+        elif action.kind == "truncate":
+            raise TraceFormatError(
+                "<injected>", "injected trace truncation", line=1)
+
+
+def corrupt_file(path) -> bool:
+    """Garble an on-disk cache entry in place (``corrupt`` faults).
+
+    Rewrites the file as its first half plus a marker that is not valid
+    JSON, modelling a torn write.  Returns False if the file is absent.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return False
+    path.write_bytes(data[:len(data) // 2] + b"\x00#CORRUPTED#")
+    return True

@@ -15,6 +15,15 @@ engine removes that redundancy at three levels:
    order.  Runs are deterministic (see the stable allocator seeding in
    ``repro.sim.simulator``), so parallel metrics are bitwise-equal to
    serial ones.
+4. **Supervision** — execution is delegated to ``repro.sim.supervisor``:
+   per-run watchdog timeouts (``REPRO_RUN_TIMEOUT``), retry with
+   exponential backoff for transient failures (``REPRO_MAX_RETRIES``),
+   pool-break recovery (one rebuild, then serial fallback), and
+   per-completion checkpointing to the on-disk cache so a killed batch
+   resumes where it left off.  ``run_batch(strict=False)`` returns a
+   ``BatchResult`` of per-request outcomes instead of raising on the
+   first failure; deterministic fault injection (``REPRO_FAULTS``, see
+   ``repro.sim.faults``) exercises every one of those paths.
 
 ``run``/``speedup``/``speedups_over_baseline``/``variant_sweep``/
 ``run_many``/``pair_metrics`` are all thin frontends over ``run_batch``.
@@ -26,10 +35,17 @@ import dataclasses
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.sim import cache as disk_cache
+from repro.sim import faults, supervisor
+from repro.sim.supervisor import (   # re-exported for callers
+    BatchResult,
+    RunFailure,
+    RunOutcome,
+)
 from repro.sim.config import DuelingConfig, SystemConfig, accesses_for_scale
 from repro.sim.metrics import RunMetrics
 from repro.sim.simulator import simulate_workload
@@ -130,10 +146,15 @@ class EngineStats:
     deduped: int = 0          # requests collapsed onto an in-batch twin
     memo_hits: int = 0        # served from the in-process memo
     disk_hits: int = 0        # served from the on-disk cache
-    simulated: int = 0        # actually executed
+    simulated: int = 0        # actually executed (and succeeded)
     sim_wall_s: float = 0.0   # summed per-run wall time (all workers)
     batch_wall_s: float = 0.0  # wall time spent inside run_batch
     simulated_accesses: int = 0  # trace records executed (incl. warmup)
+    failed: int = 0           # runs that exhausted retries
+    timeouts: int = 0         # runs killed by the watchdog
+    retries: int = 0          # extra attempts scheduled
+    pool_rebuilds: int = 0    # broken pools rebuilt
+    serial_fallbacks: int = 0  # batches degraded to serial execution
 
     @property
     def cache_hits(self) -> int:
@@ -150,13 +171,17 @@ class EngineStats:
                 if self.batch_wall_s else 0.0)
 
     def summary_line(self) -> str:
-        return (f"engine: {self.requests} requests "
+        line = (f"engine: {self.requests} requests "
                 f"({self.simulated} simulated, {self.memo_hits} memo, "
                 f"{self.disk_hits} disk, {self.deduped} deduped) | "
                 f"cache hit-rate {self.cache_hit_rate * 100:.1f}% | "
                 f"{self.simulated_accesses:,} accesses in "
                 f"{self.batch_wall_s:.2f}s = "
                 f"{self.accesses_per_sec:,.0f} accesses/s")
+        if self.failed or self.timeouts or self.retries:
+            line += (f" | {self.failed} failed, {self.timeouts} timed out, "
+                     f"{self.retries} retried")
+        return line
 
 
 _STATS = EngineStats()
@@ -208,36 +233,54 @@ def _coerce(request) -> RunRequest:
 
 def run_batch(requests: Iterable[Union[RunRequest, dict]],
               jobs: Optional[int] = None,
-              use_cache: bool = True) -> List[RunMetrics]:
-    """Execute a batch of runs and return metrics in request order.
+              use_cache: bool = True,
+              strict: bool = True,
+              timeout: Optional[float] = None,
+              retries: Optional[int] = None,
+              fail_fast: Optional[bool] = None
+              ) -> Union[List[RunMetrics], BatchResult]:
+    """Execute a batch of runs under supervision.
 
     Requests are deduplicated by fingerprint; unique misses (after the
     in-process memo and the on-disk cache) are scheduled across a process
-    pool of ``jobs`` workers (default ``REPRO_JOBS``).  With
-    ``use_cache=False`` every request is simulated fresh and nothing is
-    read from or written to either cache.
+    pool of ``jobs`` workers (default ``REPRO_JOBS``) under
+    ``repro.sim.supervisor``: per-run watchdog ``timeout`` (default
+    ``REPRO_RUN_TIMEOUT``), up to ``retries`` extra attempts for
+    transient failures (default ``REPRO_MAX_RETRIES``), broken-pool
+    rebuild then serial fallback, and per-completion cache
+    checkpointing.  With ``use_cache=False`` every request is simulated
+    fresh and nothing is read from or written to either cache.
+
+    With ``strict=True`` (the default) the first failure re-raises its
+    original exception and a plain ``List[RunMetrics]`` is returned in
+    request order.  With ``strict=False`` a :class:`BatchResult` of
+    per-request :class:`RunOutcome` records is returned and no exception
+    propagates.  ``fail_fast`` (default: the value of ``strict``)
+    controls whether remaining runs are skipped after the first failure.
     """
     batch_start = time.perf_counter()
     reqs = [_coerce(r).resolved() for r in requests]
     keys = [r.key() for r in reqs]
     _STATS.requests += len(reqs)
 
-    results: Dict[tuple, RunMetrics] = {}
+    outcomes: Dict[tuple, RunOutcome] = {}
     pending: List[Tuple[tuple, RunRequest]] = []
     scheduled = set()
     for key, req in zip(keys, reqs):
-        if key in results or key in scheduled:
+        if key in outcomes or key in scheduled:
             _STATS.deduped += 1
             continue
         if use_cache:
             memo = _CACHE.get(key)
             if memo is not None:
-                results[key] = memo
+                outcomes[key] = RunOutcome(status=supervisor.OK,
+                                           metrics=memo, source="memo")
                 _STATS.memo_hits += 1
                 continue
             disk = disk_cache.load(key)
             if disk is not None:
-                results[key] = disk
+                outcomes[key] = RunOutcome(status=supervisor.OK,
+                                           metrics=disk, source="disk")
                 _CACHE[key] = disk
                 _STATS.disk_hits += 1
                 continue
@@ -246,23 +289,50 @@ def run_batch(requests: Iterable[Union[RunRequest, dict]],
 
     if pending:
         width = min(jobs if jobs is not None else job_count(), len(pending))
-        if width > 1:
-            with ProcessPoolExecutor(max_workers=width,
-                                     initializer=_worker_init) as pool:
-                fresh = list(pool.map(_execute, [r for _, r in pending]))
-        else:
-            fresh = [_execute(req) for _, req in pending]
-        for (key, _), metrics in zip(pending, fresh):
-            results[key] = metrics
+        plan = faults.plan_from_env(len(pending))
+        resolved_timeout = (supervisor.run_timeout() if timeout is None
+                            else (timeout if timeout > 0 else None))
+        resolved_retries = (supervisor.max_retries() if retries is None
+                            else max(0, retries))
+
+        def _checkpoint(index: int, metrics: RunMetrics) -> None:
+            key = pending[index][0]
             if use_cache:
                 _CACHE[key] = metrics
                 disk_cache.store(key, metrics)
-        _STATS.simulated += len(pending)
-        _STATS.sim_wall_s += sum(m.wall_time_s for m in fresh)
-        _STATS.simulated_accesses += sum(r.n_accesses for _, r in pending)
+                if plan is not None:
+                    for _ in plan.post_store_actions(index):
+                        faults.corrupt_file(disk_cache.entry_path(key))
+
+        run_outcomes, sup_stats = supervisor.supervise(
+            [req for _, req in pending], width=width,
+            timeout=resolved_timeout, retries=resolved_retries,
+            plan=plan, on_result=_checkpoint,
+            fail_fast=strict if fail_fast is None else fail_fast)
+
+        for (key, req), outcome in zip(pending, run_outcomes):
+            outcomes[key] = outcome
+            if outcome.ok:
+                _STATS.simulated += 1
+                _STATS.sim_wall_s += outcome.metrics.wall_time_s
+                _STATS.simulated_accesses += req.n_accesses
+        _STATS.retries += sup_stats.retries
+        _STATS.failed += sup_stats.failed
+        _STATS.timeouts += sup_stats.timeouts
+        _STATS.pool_rebuilds += sup_stats.pool_rebuilds
+        _STATS.serial_fallbacks += int(sup_stats.serial_fallback)
 
     _STATS.batch_wall_s += time.perf_counter() - batch_start
-    return [results[key] for key in keys]
+    ordered = [outcomes[key] for key in keys]
+    if strict:
+        bad = [o for o in ordered if not o.ok]
+        if bad:
+            # Prefer the run that actually failed over any skipped runs
+            # that merely trailed it under fail-fast.
+            primary = next((o for o in bad if o.failure is not None), bad[0])
+            supervisor.reraise(primary)
+        return [o.metrics for o in ordered]
+    return BatchResult(ordered, requests=reqs)
 
 
 def parallel_map(fn: Callable, items: Sequence,
@@ -277,9 +347,14 @@ def parallel_map(fn: Callable, items: Sequence,
     width = min(jobs if jobs is not None else job_count(), len(items))
     if width <= 1:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=width,
-                             initializer=_worker_init) as pool:
-        return list(pool.map(fn, items))
+    try:
+        with ProcessPoolExecutor(max_workers=width,
+                                 initializer=_worker_init) as pool:
+            return list(pool.map(fn, items))
+    except BrokenProcessPool:
+        # Degrade to in-process serial execution rather than dying.
+        _STATS.serial_fallbacks += 1
+        return [fn(item) for item in items]
 
 
 # ----------------------------------------------------------------------

@@ -18,6 +18,7 @@ from repro.core.factory import make_l2_module
 from repro.cpu.core import Core
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.prefetch.ipcp import IPCP
+from repro.sim import faults
 from repro.sim.config import DuelingConfig, SystemConfig, accesses_for_scale
 from repro.sim.metrics import RunMetrics, collect_metrics
 from repro.workloads.suites import WorkloadSpec, catalog
@@ -123,6 +124,9 @@ def simulate_workload(workload: Union[str, WorkloadSpec],
                       dueling: Optional[DuelingConfig] = None,
                       oracle: bool = False) -> RunMetrics:
     """Generate a catalog workload's trace and simulate it."""
+    # Injected faults (REPRO_FAULTS) fire here, inside the real run
+    # call stack, so the supervision layer sees realistic failures.
+    faults.checkpoint("workload")
     spec = (catalog(include_non_intensive=True)[workload]
             if isinstance(workload, str) else workload)
     n = n_accesses if n_accesses is not None else accesses_for_scale()

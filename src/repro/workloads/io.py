@@ -8,20 +8,45 @@ ChampSim traces — be fed into the simulator).  Format:
 - one JSON array per record: ``[ip, vaddr, kind, bubble, dep]``
 
 Files ending in ``.gz`` are transparently gzip-compressed.
+
+Malformed input (bad JSON, wrong record arity, truncated gzip streams,
+header/record-count mismatches) raises :class:`TraceFormatError`, which
+carries the offending path and 1-based line number instead of leaking a
+raw ``JSONDecodeError``/``EOFError`` from the parsing internals.
 """
 
 from __future__ import annotations
 
 import gzip
 import json
+import zlib
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from repro.workloads.trace import Trace
 
 PathLike = Union[str, Path]
 
 FORMAT_VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """A trace file failed to parse or validate.
+
+    Subclasses ``ValueError`` so existing ``except ValueError`` callers
+    keep working.  ``path`` and (when known) ``line`` locate the defect.
+    """
+
+    def __init__(self, path: PathLike, message: str,
+                 line: Optional[int] = None):
+        self.path = str(path)
+        self.line = line
+        where = f"{path}, line {line}" if line is not None else str(path)
+        super().__init__(f"{where}: {message}")
+
+
+#: Exceptions a corrupt/truncated gzip stream can surface mid-read.
+_STREAM_ERRORS = (EOFError, gzip.BadGzipFile, zlib.error, OSError)
 
 
 def _open(path: Path, mode: str):
@@ -48,25 +73,79 @@ def save_trace(trace: Trace, path: PathLike) -> None:
                 separators=(",", ":")) + "\n")
 
 
-def load_trace(path: PathLike) -> Trace:
-    """Read a trace written by :func:`save_trace`."""
-    path = Path(path)
-    with _open(path, "r") as handle:
-        header_line = handle.readline()
-        if not header_line:
-            raise ValueError(f"{path}: empty trace file")
+def _parse_header(path: Path, header_line: str) -> dict:
+    try:
         header = json.loads(header_line)
-        version = header.get("format_version")
-        if version != FORMAT_VERSION:
-            raise ValueError(f"{path}: unsupported trace format {version!r}")
-        records = []
-        for line in handle:
-            ip, vaddr, kind, bubble, dep = json.loads(line)
-            records.append((ip, vaddr, kind, bubble, bool(dep)))
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(path, f"invalid header: {exc.msg}",
+                               line=1) from exc
+    if not isinstance(header, dict):
+        raise TraceFormatError(path, "invalid header: expected a JSON "
+                               f"object, got {type(header).__name__}",
+                               line=1)
+    version = header.get("format_version")
+    if version != FORMAT_VERSION:
+        raise TraceFormatError(path,
+                               f"unsupported trace format {version!r}",
+                               line=1)
+    for field in ("name", "thp_fraction"):
+        if field not in header:
+            raise TraceFormatError(path,
+                                   f"header missing {field!r}", line=1)
+    return header
+
+
+def _parse_record(path: Path, line: str, lineno: int):
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(path, f"malformed record: {exc.msg}",
+                               line=lineno) from exc
+    if not isinstance(record, (list, tuple)) or len(record) != 5:
+        raise TraceFormatError(
+            path, "malformed record: expected a 5-element array, got "
+            f"{record!r}", line=lineno)
+    ip, vaddr, kind, bubble, dep = record
+    return ip, vaddr, kind, bubble, bool(dep)
+
+
+def load_trace(path: PathLike) -> Trace:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises :class:`TraceFormatError` (a ``ValueError``) on any defect:
+    missing/invalid header, unsupported version, malformed records,
+    truncated gzip streams, or a record-count mismatch.
+    """
+    path = Path(path)
+    records = []
+    lineno = 1
+    try:
+        with _open(path, "r") as handle:
+            header_line = handle.readline()
+            if not header_line:
+                raise TraceFormatError(path, "empty trace file")
+            header = _parse_header(path, header_line)
+            for line in handle:
+                lineno += 1
+                if not line.strip():
+                    continue
+                records.append(_parse_record(path, line, lineno))
+    except _STREAM_ERRORS as exc:
+        if isinstance(exc, FileNotFoundError):
+            raise
+        raise TraceFormatError(
+            path, f"truncated or corrupt stream after line {lineno}: "
+            f"{exc}") from exc
     expected = header.get("records")
     if expected is not None and expected != len(records):
-        raise ValueError(f"{path}: header declares {expected} records, "
-                         f"file contains {len(records)}")
+        raise TraceFormatError(
+            path, f"header declares {expected} records, "
+            f"file contains {len(records)}")
     return Trace(name=header["name"], records=records,
                  thp_fraction=header["thp_fraction"],
                  suite=header.get("suite", "unknown"))
+
+
+#: Public alias; the robustness layer documents ``read_trace`` as the
+#: canonical loader name.
+read_trace = load_trace

@@ -5,6 +5,11 @@ import pytest
 from repro.cli import main
 
 
+@pytest.fixture
+def backoff_fast(monkeypatch):
+    monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0.01")
+
+
 class TestRun:
     def test_run_prints_metrics(self, capsys):
         code = main(["run", "--workload", "lbm", "--variant", "psa",
@@ -24,6 +29,66 @@ class TestRun:
     def test_run_unknown_variant_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "--workload", "lbm", "--variant", "turbo"])
+
+
+class TestFailureReporting:
+    """A failed run yields a summary and exit 1, not a stack trace."""
+
+    def test_run_reports_failure_summary(self, capsys, monkeypatch,
+                                         backoff_fast):
+        monkeypatch.setenv("REPRO_FAULTS", "error@0+1")
+        code = main(["run", "--workload", "lbm", "--variant", "psa",
+                     "--accesses", "2000", "--no-cache", "--retries", "0",
+                     "--jobs", "1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAILED" in captured.err
+        assert "InjectedError" in captured.err
+        assert "0/2 ok" in captured.err
+        assert "Traceback" not in captured.err   # summary, not a dump
+
+    def test_run_partial_results_when_baseline_fails(self, capsys,
+                                                     monkeypatch,
+                                                     backoff_fast):
+        monkeypatch.setenv("REPRO_FAULTS", "error@1")
+        code = main(["run", "--workload", "lbm", "--variant", "psa",
+                     "--accesses", "2000", "--no-cache", "--retries", "0",
+                     "--jobs", "1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "IPC" in captured.out             # target table still printed
+        assert "speedup" not in captured.out     # baseline run failed
+        assert "1/2 ok" in captured.err
+
+    def test_run_strict_raises(self, monkeypatch, backoff_fast):
+        from repro.sim.faults import InjectedError
+        monkeypatch.setenv("REPRO_FAULTS", "error@0")
+        with pytest.raises(InjectedError):
+            main(["run", "--workload", "lbm", "--variant", "psa",
+                  "--accesses", "2000", "--baseline", "", "--no-cache",
+                  "--retries", "0", "--jobs", "1", "--strict"])
+
+    def test_run_retry_heals_transient(self, capsys, monkeypatch,
+                                       backoff_fast):
+        monkeypatch.setenv("REPRO_FAULTS", "error@0:first=1")
+        code = main(["run", "--workload", "lbm", "--variant", "psa",
+                     "--accesses", "2000", "--baseline", "", "--no-cache",
+                     "--jobs", "1"])
+        assert code == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_compare_partial_results(self, capsys, monkeypatch,
+                                     backoff_fast):
+        monkeypatch.setenv("REPRO_FAULTS", "error@0")
+        code = main(["compare", "--workload", "lbm",
+                     "--variants", "original,psa", "--accesses", "2000",
+                     "--no-cache", "--retries", "0", "--jobs", "1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        # The surviving variant is promoted to comparison baseline.
+        assert "spp-psa" in captured.out
+        assert "vs psa %" in captured.out
+        assert "1/2 ok" in captured.err
 
 
 class TestCompare:

@@ -132,6 +132,67 @@ class TestMaintenance:
         assert cache.stats().entries == 0
 
 
+class TestQuarantine:
+    """Satellite: bad entries are quarantined (auditable), not silently
+    deleted, and `repro cache verify` finds them."""
+
+    def test_corrupt_entry_quarantined_on_load(self):
+        cache.store(KEY, sample_metrics())
+        path = cache.entry_path(KEY)
+        path.write_text("{ not json !!!")
+        assert cache.load(KEY) is None
+        assert not path.exists()
+        moved = list(cache.quarantine_dir().glob("*.json"))
+        assert len(moved) == 1
+        assert moved[0].read_text() == "{ not json !!!"
+
+    def test_verify_classifies_without_touching(self):
+        cache.store(("run", "good"), sample_metrics())
+        cache.store(("run", "bad"), sample_metrics())
+        cache.entry_path(("run", "bad")).write_text("garbage")
+        stale_path = cache.entry_path(("run", "old"))
+        cache.store(("run", "old"), sample_metrics())
+        payload = json.loads(stale_path.read_text())
+        payload["salt"] = "0:ancient"
+        stale_path.write_text(json.dumps(payload))
+
+        report = cache.verify()
+        assert report.scanned == 3
+        assert report.ok == 1
+        assert report.corrupt == 1
+        assert report.stale == 1
+        assert not report.quarantined
+        assert cache.stats().entries == 3      # nothing moved yet
+        assert "--prune" in report.describe()
+
+    def test_verify_prune_quarantines(self):
+        cache.store(("run", "good"), sample_metrics())
+        cache.store(("run", "bad"), sample_metrics())
+        cache.entry_path(("run", "bad")).write_text("garbage")
+        cache.store(("run", "torn"), sample_metrics())
+        torn = cache.entry_path(("run", "torn"))
+        torn.write_text(torn.read_text()[:15])
+
+        report = cache.verify(prune=True)
+        assert report.corrupt == 2
+        assert len(report.quarantined) == 2
+        assert cache.stats().entries == 1      # only the good entry left
+        assert cache.load(("run", "good")) is not None
+        assert len(list(cache.quarantine_dir().glob("*.json"))) == 2
+
+    def test_cli_cache_verify(self, capsys):
+        from repro.cli import main
+        cache.store(KEY, sample_metrics())
+        cache.entry_path(KEY).write_text("broken")
+        assert main(["cache", "verify"]) == 1
+        out = capsys.readouterr().out
+        assert "corrupt   : 1" in out
+        assert main(["cache", "verify", "--prune"]) == 0
+        assert "quarantined 1 entries" in capsys.readouterr().out
+        assert main(["cache", "verify"]) == 0   # cache is clean now
+        assert "corrupt   : 0" in capsys.readouterr().out
+
+
 class TestFingerprintCompleteness:
     """Every configuration field must widen the key (satellite fix: the old
     hand-written fingerprint omitted geometry/latency/core fields)."""

@@ -5,7 +5,12 @@ import json
 import pytest
 
 from repro.sim.simulator import simulate_trace
-from repro.workloads.io import load_trace, save_trace
+from repro.workloads.io import (
+    TraceFormatError,
+    load_trace,
+    read_trace,
+    save_trace,
+)
 from repro.workloads.suites import catalog
 from repro.workloads.trace import Trace
 
@@ -82,3 +87,62 @@ class TestValidation:
         path = tmp_path / "none.trace"
         save_trace(Trace("empty", []), path)
         assert load_trace(path).records == []
+
+
+class TestRobustness:
+    """Satellite: malformed JSON-lines and truncated gzip surface as
+    TraceFormatError with the path and line number, not raw decoder
+    exceptions."""
+
+    def _write(self, path, n=6):
+        save_trace(sample_trace(n), path)
+        return path
+
+    def test_trace_format_error_is_value_error(self):
+        assert issubclass(TraceFormatError, ValueError)
+
+    def test_read_trace_is_the_loader(self, tmp_path):
+        path = self._write(tmp_path / "t.trace")
+        assert read_trace(path).records == load_trace(path).records
+
+    def test_malformed_record_reports_path_and_line(self, tmp_path):
+        path = self._write(tmp_path / "bad.trace")
+        lines = path.read_text().splitlines()
+        lines[3] = '[1, 2, "unterminated'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceFormatError, match="malformed record") as err:
+            load_trace(path)
+        assert err.value.path == str(path)
+        assert err.value.line == 4              # header is line 1
+        assert "line 4" in str(err.value)
+
+    def test_wrong_arity_record_rejected(self, tmp_path):
+        path = self._write(tmp_path / "arity.trace")
+        lines = path.read_text().splitlines()
+        lines[2] = "[1,2,3]"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceFormatError, match="5-element") as err:
+            load_trace(path)
+        assert err.value.line == 3
+
+    def test_invalid_header_rejected(self, tmp_path):
+        path = tmp_path / "hdr.trace"
+        path.write_text("not json at all\n")
+        with pytest.raises(TraceFormatError, match="invalid header") as err:
+            load_trace(path)
+        assert err.value.line == 1
+
+    def test_truncated_gzip_wrapped(self, tmp_path):
+        whole = self._write(tmp_path / "whole.trace.gz", n=500)
+        data = whole.read_bytes()
+        truncated = tmp_path / "cut.trace.gz"
+        truncated.write_bytes(data[:len(data) // 2])
+        with pytest.raises(TraceFormatError,
+                           match="truncated or corrupt") as err:
+            load_trace(truncated)
+        assert err.value.path == str(truncated)
+
+    def test_missing_file_still_file_not_found(self, tmp_path):
+        # A missing path is an OSError concern, not a format defect.
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "absent.trace")
