@@ -93,8 +93,13 @@ def _quarantine(path: Path) -> Optional[Path]:
     try:
         quarantine_dir().mkdir(parents=True, exist_ok=True)
         dest = quarantine_dir() / path.name
-        if dest.exists():
-            dest = quarantine_dir() / f"{path.stem}.{os.getpid()}{path.suffix}"
+        serial = 0
+        while dest.exists():
+            # Never overwrite earlier quarantined evidence: probe
+            # pid-and-serial suffixes until a free name is found.
+            serial += 1
+            dest = (quarantine_dir()
+                    / f"{path.stem}.{os.getpid()}.{serial}{path.suffix}")
         os.replace(path, dest)
         return dest
     except OSError:

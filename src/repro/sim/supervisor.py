@@ -262,7 +262,7 @@ def _worker_run(task: tuple) -> dict:
     pid = os.getpid()
     if _REPORT_QUEUE is not None:
         try:
-            _REPORT_QUEUE.put(("start", index, pid))
+            _REPORT_QUEUE.put(("start", index, pid, attempt))
         except Exception:
             pass
     from repro.sim.runner import _execute
@@ -463,7 +463,12 @@ class _Supervisor:
                     submitted.add(index)
                 if broke:
                     break
-                pending = [f for f in futures if not f.done()]
+                # Wait on every uncollected future: wait() hands back
+                # already-done ones immediately, so a future that
+                # completed while the parent was busy (checkpointing,
+                # draining reports) is collected on the next pass
+                # instead of being orphaned.
+                pending = list(futures)
                 if not pending:
                     waiting = [i for i in self._unfinished()
                                if i not in submitted]
@@ -519,18 +524,28 @@ class _Supervisor:
                        running: Dict[int, Tuple[int, float]]) -> None:
         while True:
             try:
-                kind, index, pid = report_queue.get_nowait()
+                kind, index, pid, attempt = report_queue.get_nowait()
             except Exception:
                 return
-            if kind == "start" and self.outcomes[index] is None:
+            # Reports travel on a separate queue from results, so a
+            # "start" can arrive after that attempt already failed and
+            # a retry was scheduled.  Only the report matching the
+            # current attempt may (re)arm the watchdog — a stale one
+            # would reset t0 and aim a future SIGKILL at a pid that is
+            # by now running a different task.
+            if (kind == "start" and self.outcomes[index] is None
+                    and attempt == self.attempts[index]):
                 running[index] = (pid, time.monotonic())
 
     def _harvest_done(self, futures: Dict[object, int],
                       running: Dict[int, Tuple[int, float]]) -> None:
-        """Collect results that completed before a pool break.
+        """Collect payloads that completed before a pool break.
 
-        A crash breaks only unfinished futures; results already in hand
-        must not be discarded (and re-simulated) with the pool.
+        A crash breaks only unfinished futures; payloads already in
+        hand must not be discarded with the pool.  Successes would be
+        re-simulated, and failures would lose their record and attempt
+        charge — letting a permanent error re-execute for free in the
+        next pool lifetime instead of failing immediately.
         """
         for future, index in list(futures.items()):
             if not future.done() or self.outcomes[index] is not None:
@@ -539,10 +554,14 @@ class _Supervisor:
                 payload = future.result()
             except Exception:
                 continue
+            running.pop(index, None)
+            futures.pop(future)
             if payload.get("ok"):
                 self._finalize_ok(index, payload["metrics"])
-                running.pop(index, None)
-                futures.pop(future)
+            else:
+                self._record_attempt_failure(
+                    index, _failure_from_payload(
+                        payload, index, self.attempts[index] + 1))
 
     def _reap_hung(self, running: Dict[int, Tuple[int, float]]) -> None:
         """SIGKILL workers whose current run exceeded the watchdog."""

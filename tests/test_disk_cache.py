@@ -146,6 +146,20 @@ class TestQuarantine:
         assert len(moved) == 1
         assert moved[0].read_text() == "{ not json !!!"
 
+    def test_repeat_quarantine_never_overwrites(self):
+        # The same entry going bad repeatedly must keep every piece of
+        # quarantined evidence — name collisions probe for a free name
+        # instead of os.replace silently clobbering the earlier file.
+        for generation in range(3):
+            cache.store(KEY, sample_metrics())
+            path = cache.entry_path(KEY)
+            path.write_text(f"garbage {generation}")
+            assert cache.load(KEY) is None
+        moved = list(cache.quarantine_dir().glob("*.json"))
+        assert len(moved) == 3
+        assert ({p.read_text() for p in moved}
+                == {"garbage 0", "garbage 1", "garbage 2"})
+
     def test_verify_classifies_without_touching(self):
         cache.store(("run", "good"), sample_metrics())
         cache.store(("run", "bad"), sample_metrics())

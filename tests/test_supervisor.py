@@ -303,3 +303,116 @@ class TestCheckpointing:
         assert from_disk.outcomes[0].source == "disk"
         from_memo = run_batch([req()], jobs=1, strict=False)
         assert from_memo.outcomes[0].source == "memo"
+
+
+class _FakeReportQueue:
+    """Stands in for the worker->parent mp.Queue in unit tests."""
+
+    def __init__(self, reports=()):
+        self._reports = list(reports)
+
+    def get_nowait(self):
+        if self._reports:
+            return self._reports.pop(0)
+        import queue
+        raise queue.Empty
+
+    def close(self):
+        pass
+
+    def cancel_join_thread(self):
+        pass
+
+
+class _PreResolvedPool:
+    """A pool whose futures are already done when submit() returns,
+    modelling workers that finish while the parent is busy elsewhere
+    (checkpointing via on_result, draining reports, ...)."""
+
+    def __init__(self):
+        self.submitted = []
+
+    def submit(self, fn, task):
+        from concurrent.futures import Future
+        index = task[0]
+        self.submitted.append(index)
+        future = Future()
+        future.set_result(
+            {"ok": True, "pid": 1, "metrics": f"metrics-{index}"})
+        return future
+
+    def shutdown(self, *args, **kwargs):
+        pass
+
+
+def _payload(exc_type, permanent, pid=2):
+    return {"ok": False, "kind": "error", "pid": pid,
+            "exc_type": exc_type, "message": "boom", "traceback": "tb",
+            "permanent": permanent, "exc_bytes": None}
+
+
+class TestReviewRegressions:
+    """Pinned fixes from the supervision-layer review."""
+
+    def test_already_done_futures_are_collected(self, monkeypatch):
+        # A future that is done before the parent's next wait() pass
+        # must still be collected — not orphaned and re-simulated in
+        # the serial phase (or reaped as a bogus TIMEOUT).
+        pool = _PreResolvedPool()
+        monkeypatch.setattr(supervisor, "_make_pool",
+                            lambda width: (pool, _FakeReportQueue()))
+        monkeypatch.setattr(
+            runner, "_execute",
+            lambda request: pytest.fail("orphaned result re-simulated "
+                                        "in the serial phase"))
+        outcomes, stats = supervisor.supervise(
+            ["a", "b", "c"], width=2, timeout=None, retries=0)
+        assert [o.status for o in outcomes] == ["ok"] * 3
+        assert [o.metrics for o in outcomes] == [
+            "metrics-0", "metrics-1", "metrics-2"]
+        assert sorted(pool.submitted) == [0, 1, 2]  # exactly one attempt each
+        assert not stats.serial_fallback
+
+    def test_stale_start_report_ignored(self):
+        # A "start" report from an attempt that already failed must not
+        # re-arm the watchdog: the pid it names is running another task.
+        sup = supervisor._Supervisor(["a"], 2, 5.0, 2, None, None, False)
+        sup.attempts[0] = 1                      # attempt 0 failed; retrying
+        running = {}
+        sup._drain_reports(
+            _FakeReportQueue([("start", 0, 111, 0)]), running)
+        assert running == {}
+        sup._drain_reports(
+            _FakeReportQueue([("start", 0, 222, 1)]), running)
+        assert running[0][0] == 222              # current attempt accepted
+
+    def test_harvest_preserves_failures_across_pool_break(self):
+        from concurrent.futures import Future
+        sup = supervisor._Supervisor(["a", "b"], 2, None, 1, None, None,
+                                     False)
+        ok_future = Future()
+        ok_future.set_result({"ok": True, "pid": 1, "metrics": "m0"})
+        bad_future = Future()
+        bad_future.set_result(_payload("ValueError", permanent=True))
+        futures = {ok_future: 0, bad_future: 1}
+        running = {1: (2, 0.0)}
+        sup._harvest_done(futures, running)
+        assert sup.outcomes[0].status == "ok"
+        # The permanent failure keeps its record and attempt charge
+        # instead of being requeued for a free re-execution.
+        assert sup.outcomes[1].status == "failed"
+        assert sup.outcomes[1].failure.exc_type == "ValueError"
+        assert sup.attempts[1] == 1
+        assert not futures and not running
+
+    def test_harvest_charges_transient_failures(self):
+        from concurrent.futures import Future
+        sup = supervisor._Supervisor(["a"], 2, None, 2, None, None, False)
+        future = Future()
+        future.set_result(_payload("RuntimeError", permanent=False))
+        futures = {future: 0}
+        sup._harvest_done(futures, {})
+        assert sup.outcomes[0] is None           # retry scheduled
+        assert sup.attempts[0] == 1              # ... but attempt charged
+        assert sup.not_before[0] > 0             # ... with backoff
+        assert not futures
