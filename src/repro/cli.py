@@ -13,6 +13,8 @@ Commands
   ``benchmarks/results/`` into one reproduction report.
 - ``cache``    : inspect, verify (``cache verify [--prune]``), or clear
   the persistent on-disk run cache.
+- ``snapshot`` : inspect (``snapshot stats|list``) or prune the
+  crash-consistent mid-run snapshots left by interrupted runs.
 
 ``run`` and ``compare`` execute through the batch engine
 (``repro.sim.runner``): results are deduplicated, parallelised across
@@ -32,6 +34,8 @@ Examples::
     python -m repro trace --workload lbm --out lbm.trace.gz --accesses 50000
     python -m repro cache stats
     python -m repro cache clear
+    python -m repro snapshot list
+    python -m repro snapshot prune --all
 """
 
 from __future__ import annotations
@@ -215,6 +219,34 @@ def cmd_cache(args) -> int:
     # clear
     removed = disk_cache.clear()
     print(f"removed {removed} cache entries from {disk_cache.cache_dir()}")
+    return 0
+
+
+def cmd_snapshot(args) -> int:
+    from repro.sim import snapshot as snapshot_store
+
+    if args.dir:
+        os.environ["REPRO_SNAPSHOT_DIR"] = args.dir
+    if args.action == "stats":
+        print(snapshot_store.stats().describe())
+        return 0
+    if args.action == "list":
+        entries = snapshot_store.list_entries()
+        if not entries:
+            print(f"no snapshots under {snapshot_store.snapshot_dir()}")
+            return 0
+        rows = [[e.key, e.access_index, e.size_bytes,
+                 "yes" if e.current else "stale"] for e in entries]
+        print(format_table(
+            ["run key", "access", "bytes", "current"],
+            rows, title=f"{len(entries)} snapshots "
+                        f"({snapshot_store.snapshot_dir()})"))
+        return 0
+    # prune
+    removed = snapshot_store.prune(all_entries=args.all)
+    scope = "all" if args.all else "stale"
+    print(f"removed {removed} {scope} snapshot(s) from "
+          f"{snapshot_store.snapshot_dir()}")
     return 0
 
 
@@ -448,6 +480,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="with verify: move corrupt/stale entries "
                               "to <cache>/quarantine/")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_snap = sub.add_parser(
+        "snapshot",
+        help="inspect/prune the crash-consistent mid-run snapshots")
+    p_snap.add_argument("action", choices=["stats", "list", "prune"])
+    p_snap.add_argument("--dir", default=None,
+                        help="snapshot directory (default: "
+                             "REPRO_SNAPSHOT_DIR or <cache>/snapshots)")
+    p_snap.add_argument("--all", action="store_true",
+                        help="with prune: remove every snapshot, not just "
+                             "stale-version ones")
+    p_snap.set_defaults(func=cmd_snapshot)
     return parser
 
 

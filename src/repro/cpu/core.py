@@ -139,13 +139,56 @@ class Core:
         )
 
     # ------------------------------------------------------------------
-    def run(self, trace: Trace, warmup_records: int = 0) -> CoreResult:
-        """Execute a whole trace; stats cover the post-warmup portion."""
-        self.reset()
-        for index, record in enumerate(trace.records):
+    def state_dict(self) -> dict:
+        return {
+            "fetch": self.fetch,
+            "retire_frontier": self.retire_frontier,
+            "occupancy": self.occupancy,
+            "inflight": [(c, f) for c, f in self.inflight],
+            "last_load_complete": self.last_load_complete,
+            "instructions": self.instructions,
+            "memory_accesses": self.memory_accesses,
+            "stall_cycles": self.stall_cycles,
+            "measure": (self._measure_started_at,
+                        self._measured_instruction_base,
+                        self._measured_access_base,
+                        self._measured_stall_base),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.fetch = state["fetch"]
+        self.retire_frontier = state["retire_frontier"]
+        self.occupancy = state["occupancy"]
+        self.inflight = deque((c, f) for c, f in state["inflight"])
+        self.last_load_complete = state["last_load_complete"]
+        self.instructions = state["instructions"]
+        self.memory_accesses = state["memory_accesses"]
+        self.stall_cycles = state["stall_cycles"]
+        (self._measure_started_at, self._measured_instruction_base,
+         self._measured_access_base,
+         self._measured_stall_base) = state["measure"]
+
+    # ------------------------------------------------------------------
+    def run(self, trace: Trace, warmup_records: int = 0,
+            start_index: int = 0, on_record=None) -> CoreResult:
+        """Execute a whole trace; stats cover the post-warmup portion.
+
+        ``start_index`` resumes mid-trace from checkpointed state (the
+        core is *not* reset), and ``on_record(index)`` — called after each
+        record completes — lets the snapshot machinery observe progress.
+        """
+        if start_index == 0:
+            self.reset()
+        records = trace.records
+        for index in range(start_index, len(records)):
             if index == warmup_records:
                 self.begin_measurement()
-            self.step(record)
-        if warmup_records >= len(trace.records):
+            self.step(records[index])
+            if on_record is not None:
+                on_record(index)
+        # A killed attempt can never have executed this (it dies inside the
+        # loop), so firing it on resumed runs too matches the uninterrupted
+        # execution exactly.
+        if warmup_records >= len(records):
             self.begin_measurement()
         return self.finish()

@@ -123,3 +123,15 @@ class MSHR:
 
     def reset_stats(self) -> None:
         self.stalls = self.merges = self.inserts = 0
+
+    def state_dict(self) -> dict:
+        return {"entries": {b: tuple(e) for b, e in self._entries.items()},
+                "stalls": self.stalls, "merges": self.merges,
+                "inserts": self.inserts}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._entries = {b: (e[0], e[1])
+                         for b, e in state["entries"].items()}
+        self.stalls = state["stalls"]
+        self.merges = state["merges"]
+        self.inserts = state["inserts"]

@@ -173,6 +173,39 @@ class IPCP(L1DPrefetcher):
         return None
 
     # ------------------------------------------------------------------
+    # ``cross_page`` and the ``may_cross`` predicate are configuration and
+    # wiring (a closure over the hierarchy's TLBs), not behavioural state —
+    # they are re-established when the hierarchy is rebuilt.
+    def state_dict(self) -> dict:
+        return {
+            "ip_table": self.ip_table.state_dict(
+                encode=lambda e: (e.last_block, e.stride, e.confidence,
+                                  e.signature)),
+            "region_table": self.region_table.state_dict(
+                encode=lambda e: (e.last_block, e.direction, e.touches)),
+            "cspt": self.cspt.state_dict(encode=list),
+            "stats": (self.issued, self.dropped_at_boundary),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        def decode_ip(payload) -> IPEntry:
+            entry = IPEntry(payload[0])
+            entry.stride, entry.confidence, entry.signature = payload[1:]
+            return entry
+
+        def decode_region(payload) -> RegionEntry:
+            entry = RegionEntry(payload[0])
+            entry.direction = payload[1]
+            entry.touches = payload[2]
+            return entry
+
+        self.ip_table.load_state_dict(state["ip_table"], decode=decode_ip)
+        self.region_table.load_state_dict(state["region_table"],
+                                          decode=decode_region)
+        self.cspt.load_state_dict(state["cspt"], decode=list)
+        self.issued, self.dropped_at_boundary = state["stats"]
+
+    # ------------------------------------------------------------------
     def on_access(self, vaddr: int, ip: int, hit: bool) -> List[int]:
         block = block_number(vaddr)
         candidates: List[int] = []

@@ -47,7 +47,7 @@ CACHE_VERSION = 1
 
 #: Code-version salt: bump whenever simulation *semantics* change so that
 #: results produced by older code can never be returned for new runs.
-CODE_VERSION = "2026-08-05.2"
+CODE_VERSION = "2026-08-05.3"
 
 
 def cache_enabled() -> bool:

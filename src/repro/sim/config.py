@@ -174,6 +174,49 @@ class SystemConfig:
         return "\n".join(f"{name:<{width}}  {desc}" for name, desc in rows)
 
 
+class ConfigurationError(RuntimeError):
+    """A REPRO_* environment knob holds an unusable value.
+
+    Deliberately *not* a ``ValueError``: the supervisor treats
+    ``ValueError`` raised inside a worker as a permanent simulation
+    failure, whereas a bad knob is an operator mistake that must abort
+    loudly in the parent process with a message naming the variable.
+    """
+
+
+def env_int(name: str, default: int, minimum: int | None = None) -> int:
+    """Parse an integer environment knob, or raise ConfigurationError."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be an integer, got {raw!r}") from None
+    if minimum is not None and value < minimum:
+        raise ConfigurationError(
+            f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def env_float(name: str, default: float,
+              minimum: float | None = None) -> float:
+    """Parse a float environment knob, or raise ConfigurationError."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be a number, got {raw!r}") from None
+    if minimum is not None and value < minimum:
+        raise ConfigurationError(
+            f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
 #: Per-workload memory-access budget for each REPRO_SCALE setting.
 SCALE_ACCESSES = {"tiny": 8_000, "small": 40_000, "medium": 200_000, "large": 1_000_000}
 #: Multi-core mix count for each REPRO_SCALE setting.

@@ -10,17 +10,20 @@ of a batch fail and how:
     clause  := kind target (":" key "=" value)*
     target  := "@" idx ("+" idx)*          explicit 0-based run indices
              | "~" count "/" seed          seeded random sample of runs
-    kind    := "crash" | "hang" | "error" | "truncate" | "corrupt"
+    kind    := "crash" | "hang" | "error" | "truncate" | "corrupt" | "kill"
 
 Examples::
 
     REPRO_FAULTS="crash@4;hang@9:secs=30"      # the acceptance scenario
     REPRO_FAULTS="error@0:first=1"             # fail attempt 0, then heal
     REPRO_FAULTS="crash~3/42"                  # 3 seeded-random crashes
+    REPRO_FAULTS="kill@0:at=1500:first=1"      # die mid-trace once, resume
 
 Parameters: ``secs=<float>`` (hang duration, default 30),
 ``first=<int>`` (fire only on the first N attempts; 0 = every attempt,
-so ``first=1`` models a transient that a retry cures).
+so ``first=1`` models a transient that a retry cures), and
+``at=<int>`` (``kill`` only: the access index after which the run dies —
+the snapshot/resume acceptance scenario).
 
 Indices refer to positions in the batch's *scheduled* run list (after
 dedupe and cache hits), which is what makes a schedule deterministic: a
@@ -50,7 +53,7 @@ from repro.workloads.io import TraceFormatError
 
 ENV_VAR = "REPRO_FAULTS"
 
-KINDS = ("crash", "hang", "error", "truncate", "corrupt")
+KINDS = ("crash", "hang", "error", "truncate", "corrupt", "kill")
 
 
 class FaultSpecError(ValueError):
@@ -72,6 +75,7 @@ class FaultAction:
     kind: str
     secs: float = 30.0    # hang duration
     first: int = 0        # fire only on attempts < first (0 = always)
+    at: int = -1          # kill: die after access index `at` completes
 
     def fires(self, attempt: int) -> bool:
         return self.first == 0 or attempt < self.first
@@ -108,10 +112,12 @@ def _parse_params(clause: str, raw: List[str]) -> Dict[str, float]:
             params["secs"] = float(value)
         elif key == "first":
             params["first"] = int(value)
+        elif key == "at":
+            params["at"] = int(value)
         else:
             raise FaultSpecError(
                 f"fault clause {clause!r}: unknown parameter {key!r} "
-                "(expected secs= or first=)")
+                "(expected secs=, first= or at=)")
     return params
 
 
@@ -138,6 +144,9 @@ def _parse_clause(clause: str) -> FaultClause:
             f"fault clause {clause!r}: unknown kind {kind!r} "
             f"(expected one of {', '.join(KINDS)})")
     action = FaultAction(kind=kind, **params)
+    if kind == "kill" and action.at < 0:
+        raise FaultSpecError(
+            f"fault clause {clause!r}: kill requires at=<access index>")
 
     if explicit:
         try:
@@ -267,6 +276,31 @@ def checkpoint(site: str = "run") -> None:
         elif action.kind == "truncate":
             raise TraceFormatError(
                 "<injected>", "injected trace truncation", line=1)
+
+
+def kill_armed() -> bool:
+    """True when a ``kill`` action could fire for the current attempt
+    (so the run loop knows to call :func:`access_checkpoint`)."""
+    return any(a.kind == "kill" and a.fires(_ATTEMPT) for a in _ARMED)
+
+
+def access_checkpoint(index: int) -> None:
+    """Fire armed ``kill`` faults once access *index* has completed.
+
+    Called by the simulation run loop after every access when a kill is
+    armed.  In a pool worker the process dies with ``os._exit(137)``
+    (a real SIGKILL-style death: no cleanup, no snapshot flush beyond
+    what is already on disk); serially an :class:`InjectedCrash` is
+    raised, which the supervisor treats as transient and retries.
+    """
+    for action in _ARMED:
+        if action.kind != "kill" or not action.fires(_ATTEMPT):
+            continue
+        if index == action.at:
+            if _IN_POOL_WORKER:
+                os._exit(137)
+            raise InjectedCrash(
+                f"injected mid-run kill after access {index}")
 
 
 def corrupt_file(path) -> bool:

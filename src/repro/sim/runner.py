@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.sim import cache as disk_cache
+from repro.sim import config
 from repro.sim import faults, supervisor
 from repro.sim.supervisor import (   # re-exported for callers
     BatchResult,
@@ -61,11 +62,8 @@ def job_count() -> int:
     """Worker-pool width: ``REPRO_JOBS`` env, default ``os.cpu_count()``."""
     if os.environ.get(_IN_WORKER_ENV):
         return 1
-    raw = os.environ.get("REPRO_JOBS", "").strip()
-    if raw:
-        jobs = int(raw)
-        return jobs if jobs > 0 else (os.cpu_count() or 1)
-    return os.cpu_count() or 1
+    jobs = config.env_int("REPRO_JOBS", 0)
+    return jobs if jobs > 0 else (os.cpu_count() or 1)
 
 
 # ----------------------------------------------------------------------
@@ -207,14 +205,20 @@ def clear_cache() -> None:
 # ----------------------------------------------------------------------
 
 def _execute(request: RunRequest) -> RunMetrics:
-    """Simulate one resolved request, stamping per-run wall time."""
+    """Simulate one resolved request, stamping per-run wall time.
+
+    The request's fingerprint doubles as the snapshot key: when
+    ``REPRO_SNAPSHOT_EVERY`` is set, a retried/resumed attempt of the
+    same request picks up its own mid-run checkpoint automatically.
+    """
     start = time.perf_counter()
     metrics = simulate_workload(
         request.workload, config=request.config,
         prefetcher=request.prefetcher, variant=request.variant,
         l1d=request.l1d, oracle_page_size=request.oracle_page_size,
         n_accesses=request.n_accesses, table_scale=request.table_scale,
-        gb_fraction=request.gb_fraction, dueling=request.dueling)
+        gb_fraction=request.gb_fraction, dueling=request.dueling,
+        snapshot_key=request.key())
     metrics.wall_time_s = time.perf_counter() - start
     return metrics
 

@@ -82,7 +82,8 @@ def simulate_trace(trace: Trace, config: Optional[SystemConfig] = None,
                    table_scale: float = 1.0,
                    gb_fraction: float = 0.0,
                    dueling: Optional[DuelingConfig] = None,
-                   oracle: bool = False) -> RunMetrics:
+                   oracle: bool = False,
+                   snapshot_key: Optional[tuple] = None) -> RunMetrics:
     """Simulate one prepared trace and return its metrics.
 
     With ``oracle=True`` a differential reference model shadows the run
@@ -90,7 +91,16 @@ def simulate_trace(trace: Trace, config: Optional[SystemConfig] = None,
     by a naive model and diffed.  The resulting ``VerifyReport`` is
     attached as ``metrics.oracle_report``; a divergence raises
     ``OracleDivergence``.
+
+    ``snapshot_key`` (the run's cache fingerprint) enables crash-consistent
+    checkpointing when ``REPRO_SNAPSHOT_EVERY`` is set: the run stores its
+    full state every N accesses, resumes from the latest valid snapshot
+    when one exists, and discards it on successful completion.  The oracle
+    shadows functional decisions incrementally and cannot be rebuilt
+    mid-trace, so snapshotting is disabled under ``oracle=True``.
     """
+    from repro.sim import snapshot as snapshot_store
+
     config = config if config is not None else SystemConfig()
     hierarchy, module = build_hierarchy(
         trace, config, prefetcher, variant, l1d=l1d,
@@ -102,9 +112,56 @@ def simulate_trace(trace: Trace, config: Optional[SystemConfig] = None,
         observer = attach_oracle(hierarchy)
     core = Core(hierarchy, config.rob_entries, config.fetch_width)
     warmup = int(len(trace.records) * warmup_fraction)
-    result = core.run(trace, warmup_records=warmup)
+
+    snapshotting = (snapshot_key is not None and not oracle
+                    and snapshot_store.snapshot_enabled())
+    start_index = 0
+    if snapshotting:
+        resumed = snapshot_store.load(snapshot_key)
+        if resumed is not None:
+            access_index, state = resumed
+            try:
+                core.load_state_dict(state["core"])
+                hierarchy.load_state_dict(state["hierarchy"])
+                start_index = access_index + 1
+            except (KeyError, ValueError, TypeError, IndexError,
+                    AttributeError):
+                # A snapshot from an incompatible configuration slipped
+                # past the header checks: rebuild fresh and start over.
+                snapshot_store._quarantine(
+                    snapshot_store.snapshot_path(snapshot_key))
+                hierarchy, module = build_hierarchy(
+                    trace, config, prefetcher, variant, l1d=l1d,
+                    oracle_page_size=oracle_page_size,
+                    table_scale=table_scale, dueling=dueling,
+                    gb_fraction=gb_fraction)
+                core = Core(hierarchy, config.rob_entries,
+                            config.fetch_width)
+                start_index = 0
+
+    on_record = None
+    kill_armed = faults.kill_armed()
+    if snapshotting or kill_armed:
+        every = snapshot_store.snapshot_every() if snapshotting else 0
+
+        def on_record(index: int) -> None:
+            # Store *before* the kill hook so a mid-run death leaves the
+            # latest interval boundary on disk; the (index + 1) phase is
+            # anchored to the trace, not the attempt, so resumed runs
+            # snapshot at the same access indices as uninterrupted ones.
+            if every and (index + 1) % every == 0:
+                snapshot_store.store(snapshot_key, index,
+                                     {"core": core.state_dict(),
+                                      "hierarchy": hierarchy.state_dict()})
+            if kill_armed:
+                faults.access_checkpoint(index)
+
+    result = core.run(trace, warmup_records=warmup,
+                      start_index=start_index, on_record=on_record)
     metrics = collect_metrics(trace.name, prefetcher, variant, hierarchy,
                               result, module)
+    if snapshotting:
+        snapshot_store.discard(snapshot_key)
     if observer is not None:
         report = observer.finish()
         metrics.oracle_report = report
@@ -122,7 +179,8 @@ def simulate_workload(workload: Union[str, WorkloadSpec],
                       table_scale: float = 1.0,
                       gb_fraction: float = 0.0,
                       dueling: Optional[DuelingConfig] = None,
-                      oracle: bool = False) -> RunMetrics:
+                      oracle: bool = False,
+                      snapshot_key: Optional[tuple] = None) -> RunMetrics:
     """Generate a catalog workload's trace and simulate it."""
     # Injected faults (REPRO_FAULTS) fire here, inside the real run
     # call stack, so the supervision layer sees realistic failures.
@@ -135,4 +193,5 @@ def simulate_workload(workload: Union[str, WorkloadSpec],
         trace, config=config, prefetcher=prefetcher, variant=variant,
         l1d=l1d, oracle_page_size=oracle_page_size,
         warmup_fraction=warmup_fraction, table_scale=table_scale,
-        gb_fraction=gb_fraction, dueling=dueling, oracle=oracle)
+        gb_fraction=gb_fraction, dueling=dueling, oracle=oracle,
+        snapshot_key=snapshot_key)

@@ -12,7 +12,11 @@ misses to :func:`supervise`, which runs every request under supervision:
 - **Retry** — transient failures retry with exponential backoff and
   deterministic jitter up to ``REPRO_MAX_RETRIES`` extra attempts.
   *Permanent* errors (``ValueError``/``TypeError``/... — bad requests,
-  malformed traces) fail immediately; timeouts are terminal.
+  malformed traces) fail immediately.  Timeouts are terminal by default;
+  with mid-run snapshots enabled (``REPRO_SNAPSHOT_EVERY``) they retry
+  like other transients — a resumed attempt continues from the last
+  checkpoint instead of re-spending the whole budget — and finalize with
+  ``TIMEOUT`` status when retries are exhausted.
 - **Pool degradation** — a ``BrokenProcessPool`` rebuilds the pool once;
   a second break degrades to in-process serial execution.  Runs that
   were merely in flight when the pool broke are requeued without an
@@ -39,6 +43,7 @@ import signal
 import threading
 import time
 import traceback as traceback_mod
+import warnings
 import zlib
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -47,7 +52,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import multiprocessing as mp
 
-from repro.sim import faults
+from repro.sim import config, faults
 from repro.sim.metrics import RunMetrics
 
 DEFAULT_MAX_RETRIES = 2
@@ -65,18 +70,12 @@ SKIPPED = "skipped"
 
 def max_retries() -> int:
     """Extra attempts per run: ``REPRO_MAX_RETRIES`` (default 2)."""
-    raw = os.environ.get("REPRO_MAX_RETRIES", "").strip()
-    if raw:
-        return max(0, int(raw))
-    return DEFAULT_MAX_RETRIES
+    return max(0, config.env_int("REPRO_MAX_RETRIES", DEFAULT_MAX_RETRIES))
 
 
 def run_timeout() -> Optional[float]:
     """Per-run watchdog seconds: ``REPRO_RUN_TIMEOUT`` (unset/<=0: off)."""
-    raw = os.environ.get("REPRO_RUN_TIMEOUT", "").strip()
-    if not raw:
-        return None
-    value = float(raw)
+    value = config.env_float("REPRO_RUN_TIMEOUT", 0.0)
     return value if value > 0 else None
 
 
@@ -84,8 +83,7 @@ def backoff_delay(run_index: int, attempt: int,
                   base: Optional[float] = None) -> float:
     """Exponential backoff with deterministic per-(run, attempt) jitter."""
     if base is None:
-        raw = os.environ.get("REPRO_RETRY_BACKOFF", "").strip()
-        base = float(raw) if raw else DEFAULT_BACKOFF_S
+        base = config.env_float("REPRO_RETRY_BACKOFF", DEFAULT_BACKOFF_S)
     jitter = zlib.crc32(f"{run_index}:{attempt}".encode()) % 1024 / 1024
     return base * (2 ** attempt) * (1.0 + jitter)
 
@@ -302,16 +300,38 @@ class _SerialTimeout(BaseException):
     Exception`` inside the simulator can swallow it."""
 
 
-def _serial_watchdog_available() -> bool:
-    return (hasattr(signal, "SIGALRM")
-            and threading.current_thread() is threading.main_thread())
+def _serial_watchdog_available(warn: bool = False) -> bool:
+    """Whether the SIGALRM serial watchdog can be armed here.
+
+    Signal handlers can only be installed on the POSIX main thread.  With
+    ``warn=True``, an unarmable watchdog (while a timeout is configured)
+    emits a RuntimeWarning instead of silently running untimed — the
+    caller asked for a watchdog it cannot have.
+    """
+    available = (hasattr(signal, "SIGALRM")
+                 and threading.current_thread() is threading.main_thread())
+    if not available and warn:
+        warnings.warn(
+            "serial watchdog disabled: SIGALRM requires the POSIX main "
+            "thread; serial runs will not be timed",
+            RuntimeWarning, stacklevel=3)
+    return available
 
 
 def _execute_with_alarm(execute: Callable, request, timeout: float):
     def _on_alarm(signum, frame):
         raise _SerialTimeout()
 
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    try:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+    except (ValueError, OSError):
+        # Lost the main thread between the availability probe and now
+        # (or the platform refuses): run untimed rather than crash.
+        warnings.warn(
+            "serial watchdog disabled: SIGALRM handler could not be "
+            "installed; this run is not timed",
+            RuntimeWarning, stacklevel=2)
+        return execute(request)
     signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
         return execute(request)
@@ -363,6 +383,11 @@ class _Supervisor:
         self.stats = SupervisorStats()
         self._stop_new = False
         self._kill_initiated = False
+        # With mid-run snapshots on, a timed-out run retries and resumes
+        # from its last checkpoint; without them a retry would re-spend
+        # the whole budget just to time out again, so it stays terminal.
+        from repro.sim import snapshot
+        self._retry_timeouts = snapshot.snapshot_enabled()
 
     # -- helpers -------------------------------------------------------
 
@@ -412,7 +437,9 @@ class _Supervisor:
                 time.monotonic()
                 + backoff_delay(index, self.attempts[index] - 1))
             return
-        self._finalize_failure(index, failure)
+        self._finalize_failure(
+            index, failure,
+            status=TIMEOUT if failure.kind == "timeout" else FAILED)
 
     def _timeout_failure(self, index: int,
                          pid: Optional[int]) -> RunFailure:
@@ -503,7 +530,7 @@ class _Supervisor:
                             submitted.discard(index)  # retry later
                 if broke:
                     break
-                self._reap_hung(running)
+                self._reap_hung(running, submitted)
         finally:
             self._drain_reports(report_queue, running)
             if broke:
@@ -563,7 +590,8 @@ class _Supervisor:
                     index, _failure_from_payload(
                         payload, index, self.attempts[index] + 1))
 
-    def _reap_hung(self, running: Dict[int, Tuple[int, float]]) -> None:
+    def _reap_hung(self, running: Dict[int, Tuple[int, float]],
+                   submitted: Optional[set] = None) -> None:
         """SIGKILL workers whose current run exceeded the watchdog."""
         if self.timeout is None:
             return
@@ -573,10 +601,19 @@ class _Supervisor:
                 running.pop(index, None)
                 continue
             if now - started > self.timeout:
-                self.attempts[index] += 1
-                self._finalize_failure(
-                    index, self._timeout_failure(index, pid),
-                    status=TIMEOUT)
+                if self._retry_timeouts:
+                    # Snapshots enabled: charge the attempt, retry —
+                    # the resumed attempt continues from the last
+                    # checkpoint the killed worker flushed to disk.
+                    self._record_attempt_failure(
+                        index, self._timeout_failure(index, pid))
+                    if self.outcomes[index] is None and submitted is not None:
+                        submitted.discard(index)
+                else:
+                    self.attempts[index] += 1
+                    self._finalize_failure(
+                        index, self._timeout_failure(index, pid),
+                        status=TIMEOUT)
                 running.pop(index, None)
                 self._kill_initiated = True
                 try:
@@ -618,7 +655,7 @@ class _Supervisor:
         if fallback and remaining and not self._stop_new:
             self.stats.serial_fallback = True
         use_alarm = (self.timeout is not None
-                     and _serial_watchdog_available())
+                     and _serial_watchdog_available(warn=True))
         progress = True
         while remaining and progress:
             progress = False
@@ -636,10 +673,16 @@ class _Supervisor:
                     else:
                         metrics = _execute(self.requests[index])
                 except _SerialTimeout:
-                    self.attempts[index] += 1
-                    self._finalize_failure(
-                        index, self._timeout_failure(index, os.getpid()),
-                        status=TIMEOUT)
+                    if self._retry_timeouts:
+                        self._record_attempt_failure(
+                            index,
+                            self._timeout_failure(index, os.getpid()))
+                    else:
+                        self.attempts[index] += 1
+                        self._finalize_failure(
+                            index,
+                            self._timeout_failure(index, os.getpid()),
+                            status=TIMEOUT)
                 except faults.InjectedCrash as exc:
                     self._record_attempt_failure(
                         index, _failure_from_payload(

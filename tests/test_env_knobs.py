@@ -1,0 +1,91 @@
+"""Env-knob parsing: garbage in a ``REPRO_*`` variable must raise a
+``ConfigurationError`` naming the variable and the offending value, not
+explode as a bare ``ValueError`` deep inside the engine (which the
+supervisor would misclassify as a permanent simulation failure)."""
+
+import pytest
+
+from repro.sim import runner, snapshot, supervisor
+from repro.sim.config import ConfigurationError, env_float, env_int
+
+
+class TestEnvHelpers:
+    def test_int_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+        assert env_int("REPRO_TEST_KNOB", 7) == 7
+
+    def test_int_default_when_blank(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "   ")
+        assert env_int("REPRO_TEST_KNOB", 7) == 7
+
+    def test_int_parses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "12")
+        assert env_int("REPRO_TEST_KNOB", 7) == 12
+
+    def test_int_garbage_names_variable_and_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "banana")
+        with pytest.raises(ConfigurationError) as excinfo:
+            env_int("REPRO_TEST_KNOB", 7)
+        assert "REPRO_TEST_KNOB" in str(excinfo.value)
+        assert "banana" in str(excinfo.value)
+
+    def test_int_minimum_enforced(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "-3")
+        with pytest.raises(ConfigurationError) as excinfo:
+            env_int("REPRO_TEST_KNOB", 7, minimum=0)
+        assert "REPRO_TEST_KNOB" in str(excinfo.value)
+
+    def test_float_parses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "2.5")
+        assert env_float("REPRO_TEST_KNOB", 0.0) == 2.5
+
+    def test_float_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "soon")
+        with pytest.raises(ConfigurationError) as excinfo:
+            env_float("REPRO_TEST_KNOB", 0.0)
+        assert "REPRO_TEST_KNOB" in str(excinfo.value)
+        assert "soon" in str(excinfo.value)
+
+    def test_not_a_value_error(self):
+        # ValueError is in the supervisor's PERMANENT_EXCEPTIONS set; a
+        # configuration problem must not masquerade as a simulation bug.
+        assert not issubclass(ConfigurationError, ValueError)
+        assert ConfigurationError not in supervisor.PERMANENT_EXCEPTIONS
+
+
+class TestKnobConsumers:
+    """Each engine knob goes through the validating helpers."""
+
+    @pytest.mark.parametrize("var,call", [
+        ("REPRO_MAX_RETRIES", supervisor.max_retries),
+        ("REPRO_RUN_TIMEOUT", supervisor.run_timeout),
+        ("REPRO_SNAPSHOT_EVERY", snapshot.snapshot_every),
+        ("REPRO_JOBS", runner.job_count),
+    ])
+    def test_garbage_raises_configuration_error(self, monkeypatch, var,
+                                                call):
+        monkeypatch.setenv(var, "not-a-number")
+        with pytest.raises(ConfigurationError) as excinfo:
+            call()
+        assert var in str(excinfo.value)
+        assert "not-a-number" in str(excinfo.value)
+
+    def test_backoff_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "fast")
+        with pytest.raises(ConfigurationError) as excinfo:
+            supervisor.backoff_delay(0, 0)
+        assert "REPRO_RETRY_BACKOFF" in str(excinfo.value)
+
+    def test_snapshot_every_negative(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SNAPSHOT_EVERY", "-5")
+        with pytest.raises(ConfigurationError):
+            snapshot.snapshot_every()
+
+    def test_valid_values_still_work(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "4")
+        monkeypatch.setenv("REPRO_RUN_TIMEOUT", "1.5")
+        monkeypatch.setenv("REPRO_SNAPSHOT_EVERY", "100")
+        assert supervisor.max_retries() == 4
+        assert supervisor.run_timeout() == 1.5
+        assert snapshot.snapshot_every() == 100
+        assert snapshot.snapshot_enabled()
