@@ -94,8 +94,12 @@ class Core:
         if hasattr(self.hierarchy, "reset_stats"):
             self.hierarchy.reset_stats()
 
-    def step(self, record: Record) -> float:
-        """Execute one trace record; return the access's completion cycle."""
+    def step(self, record: Record, pre=None) -> float:
+        """Execute one trace record; return the access's completion cycle.
+
+        ``pre`` optionally carries the precomputed ``(paddr, page_size)``
+        of the record's address (columnar kernel chunk preparation).
+        """
         ip, vaddr, kind, bubble, dep = record
         entries = bubble + 1
         # Reclaim ROB space via in-order retirement.
@@ -112,10 +116,16 @@ class Core:
         if dep and self.last_load_complete > issue_at:
             issue_at = self.last_load_complete
         if kind == KIND_LOAD:
-            complete = self.hierarchy.load(vaddr, ip, issue_at)
+            if pre is None:
+                complete = self.hierarchy.load(vaddr, ip, issue_at)
+            else:
+                complete = self.hierarchy.load(vaddr, ip, issue_at, pre)
             self.last_load_complete = complete
         else:
-            self.hierarchy.store(vaddr, ip, issue_at)
+            if pre is None:
+                self.hierarchy.store(vaddr, ip, issue_at)
+            else:
+                self.hierarchy.store(vaddr, ip, issue_at, pre)
             complete = issue_at + 1.0
         self.inflight.append((complete, entries))
         self.occupancy += entries
@@ -170,12 +180,33 @@ class Core:
 
     # ------------------------------------------------------------------
     def run(self, trace: Trace, warmup_records: int = 0,
-            start_index: int = 0, on_record=None) -> CoreResult:
+            start_index: int = 0, on_record=None,
+            barrier_every: int = 0) -> CoreResult:
         """Execute a whole trace; stats cover the post-warmup portion.
 
         ``start_index`` resumes mid-trace from checkpointed state (the
         core is *not* reset), and ``on_record(index)`` — called after each
         record completes — lets the snapshot machinery observe progress.
+
+        Dispatches to the columnar hot-path kernel (``repro.sim.kernel``)
+        when it is enabled and this configuration supports it; falls back
+        to the scalar reference loop otherwise.  ``barrier_every`` tells
+        the kernel at which access indices ``on_record`` must observe
+        fully consistent object state (the snapshot interval); outside
+        those barriers a kernel-mode ``on_record`` may see counters that
+        are still batched in the inner loop's locals.
+        """
+        from repro.sim.kernel import run_trace
+        return run_trace(self, trace, warmup_records=warmup_records,
+                         start_index=start_index, on_record=on_record,
+                         barrier_every=barrier_every)
+
+    def run_scalar(self, trace: Trace, warmup_records: int = 0,
+                   start_index: int = 0, on_record=None) -> CoreResult:
+        """The scalar reference loop (exact semantics, one step per record).
+
+        This is the behavioural ground truth the vectorized kernel is
+        verified against; ``REPRO_KERNEL=scalar`` forces it.
         """
         if start_index == 0:
             self.reset()

@@ -27,7 +27,7 @@ class MSHR:
     """
 
     __slots__ = ("name", "capacity", "_entries", "stalls", "merges",
-                 "inserts", "_check")
+                 "inserts", "_check", "_floor")
 
     def __init__(self, name: str, capacity: int) -> None:
         if capacity < 1:
@@ -39,6 +39,13 @@ class MSHR:
         self.merges = 0   # times a miss merged with an in-flight entry
         self.inserts = 0
         self._check = invariants.enabled()
+        #: Lower bound on the smallest ``ready`` among current entries —
+        #: a pure scan accelerator.  While ``_floor > now`` a capacity
+        #: sweep provably finds nothing to retire, so ``_expire`` skips
+        #: it.  Lazy deletions may leave the bound loose (never stale
+        #: high); it is not behavioural state and is excluded from
+        #: ``state_dict`` (recomputed on load).
+        self._floor = float("inf")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -66,11 +73,13 @@ class MSHR:
         return True
 
     def _expire(self, now: float) -> None:
-        if len(self._entries) < self.capacity:
+        if len(self._entries) < self.capacity or self._floor > now:
             return
         dead = [b for b, (ready, _) in self._entries.items() if ready <= now]
         for block in dead:
             del self._entries[block]
+        self._floor = min((ready for ready, _ in self._entries.values()),
+                          default=float("inf"))
 
     def is_full(self, now: float) -> bool:
         """True when no entry can be allocated at *now*."""
@@ -111,6 +120,8 @@ class MSHR:
             raise RuntimeError(f"{self.name}: insert into full MSHR")
         self._entries[block] = (ready, page_size)
         self.inserts += 1
+        if ready < self._floor:
+            self._floor = ready
         if self._check and len(self._entries) > self.capacity:
             invariants.violated(
                 f"{self.name}: {len(self._entries)} entries exceed "
@@ -135,3 +146,5 @@ class MSHR:
         self.stalls = state["stalls"]
         self.merges = state["merges"]
         self.inserts = state["inserts"]
+        self._floor = min((ready for ready, _ in self._entries.values()),
+                          default=float("inf"))

@@ -35,8 +35,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.prefetch.base import L2Prefetcher, PrefetchContext
+from repro.memory.address import BLOCK_BITS, PAGE_2M_BITS, PAGE_SIZE_2M
+from repro.prefetch.base import L2Prefetcher, PrefetchContext, PrefetchRequest
 from repro.prefetch.tables import BoundedTable
+
+_PAGE2M_BLOCK_SHIFT = PAGE_2M_BITS - BLOCK_BITS
 
 SIG_BITS = 12
 SIG_MASK = (1 << SIG_BITS) - 1
@@ -192,31 +195,99 @@ class SPP(L2Prefetcher):
     # ------------------------------------------------------------------
     def _lookahead(self, ctx: PrefetchContext, offset: int, sig: int,
                    initial_confidence: float = 1.0) -> None:
-        """Walk the signature path, emitting one prefetch per step."""
+        """Walk the signature path, emitting one prefetch per step.
+
+        This is the single hottest prefetcher loop in the simulator (one
+        invocation per trained access, up to MAX_DEPTH steps each), so the
+        per-step helpers (``pattern_table.get(touch=False)``, ``best()``,
+        ``next_signature``) are inlined with identical arithmetic and
+        evaluation order — the emitted candidates and all statistics are
+        bit-for-bit those of the readable form.
+        """
         self.lookahead_invocations += 1
         base_block = ctx.block - offset   # first block of the region
         path_confidence = initial_confidence
         cursor = offset
-        for depth in range(self.MAX_DEPTH):
-            entry = self.pattern_table.get(sig, touch=False)
-            best = entry.best() if entry is not None else None
-            if best is None:
-                break
-            delta, confidence = best
-            path_confidence *= confidence * self.LOOKAHEAD_DAMPING
-            if path_confidence < self.PF_THRESHOLD:
-                break
-            cursor += delta
-            candidate = base_block + cursor
-            if not self._issue(ctx, candidate, path_confidence, depth, sig, delta):
-                # Path rejected at a page boundary: park it in the GHR so
-                # learning can continue when the stream enters the next
-                # region (the original SPP's cross-page mechanism).
-                if cursor >= self.region_blocks or cursor < 0:
-                    self._ghr_record(sig, path_confidence, cursor, delta)
-                break
-            self.lookahead_depth_total += 1
-            sig = next_signature(sig, delta)
+        pt_get = self.pattern_table._data.get   # get(touch=False)
+        damping = self.LOOKAHEAD_DAMPING
+        threshold = self.PF_THRESHOLD
+        steps = 0
+        if type(self)._issue is SPP._issue:
+            # Stock issue policy: ``ctx.emit`` is flattened into the walk
+            # (same statements, same order — one attribute/branch sequence
+            # per candidate instead of two function calls).
+            fill_threshold = self.FILL_THRESHOLD
+            stats = ctx.stats
+            lo = ctx.lo
+            hi = ctx.hi
+            collect = ctx.collect
+            issuer = ctx.issuer
+            requests_append = ctx.requests.append
+            trigger_page2m = ctx.block >> _PAGE2M_BLOCK_SHIFT
+            in_2m = ctx.true_page_size == PAGE_SIZE_2M
+            for depth in range(self.MAX_DEPTH):
+                entry = pt_get(sig)
+                if entry is None:
+                    break
+                deltas = entry.deltas
+                total = entry.total
+                if not deltas or not total:   # entry.best() returning None
+                    break
+                if len(deltas) == 1:
+                    delta = next(iter(deltas))
+                else:
+                    delta = max(deltas, key=deltas.__getitem__)
+                path_confidence *= (deltas[delta] / total) * damping
+                if path_confidence < threshold:
+                    break
+                cursor += delta
+                candidate = base_block + cursor
+                stats.proposed += 1
+                if lo <= candidate <= hi:
+                    stats.issued += 1
+                    if collect:
+                        requests_append(PrefetchRequest(
+                            candidate, path_confidence >= fill_threshold,
+                            issuer))
+                else:
+                    # Discarded: Fig. 2 classification, then park the path
+                    # in the GHR (cross-region learning continuity).
+                    if (candidate >> _PAGE2M_BLOCK_SHIFT) == trigger_page2m:
+                        if in_2m:
+                            stats.discarded_cross_4k_in_2m += 1
+                        else:
+                            stats.discarded_cross_4k_in_4k += 1
+                    else:
+                        stats.discarded_beyond_2m += 1
+                    if cursor >= self.region_blocks or cursor < 0:
+                        self._ghr_record(sig, path_confidence, cursor, delta)
+                    break
+                steps += 1
+                sig = ((sig << SIG_SHIFT) ^ (delta & SIG_MASK)) & SIG_MASK
+        else:
+            issue = self._issue   # overridden (PPF's perceptron filter)
+            for depth in range(self.MAX_DEPTH):
+                entry = pt_get(sig)
+                if entry is None:
+                    break
+                deltas = entry.deltas
+                total = entry.total
+                if not deltas or not total:
+                    break
+                delta = max(deltas, key=deltas.__getitem__)
+                path_confidence *= (deltas[delta] / total) * damping
+                if path_confidence < threshold:
+                    break
+                cursor += delta
+                candidate = base_block + cursor
+                if not issue(ctx, candidate, path_confidence, depth, sig,
+                             delta):
+                    if cursor >= self.region_blocks or cursor < 0:
+                        self._ghr_record(sig, path_confidence, cursor, delta)
+                    break
+                steps += 1
+                sig = ((sig << SIG_SHIFT) ^ (delta & SIG_MASK)) & SIG_MASK
+        self.lookahead_depth_total += steps
 
     def _issue(self, ctx: PrefetchContext, candidate: int,
                path_confidence: float, depth: int, sig: int,

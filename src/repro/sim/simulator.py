@@ -140,6 +140,7 @@ def simulate_trace(trace: Trace, config: Optional[SystemConfig] = None,
                 start_index = 0
 
     on_record = None
+    every = 0
     kill_armed = faults.kill_armed()
     if snapshotting or kill_armed:
         every = snapshot_store.snapshot_every() if snapshotting else 0
@@ -156,8 +157,12 @@ def simulate_trace(trace: Trace, config: Optional[SystemConfig] = None,
             if kill_armed:
                 faults.access_checkpoint(index)
 
+    # ``every`` doubles as the kernel's consistency barrier: snapshots
+    # fire only at these indices, so the vectorized kernel may batch
+    # state between them and flush exactly at each barrier.
     result = core.run(trace, warmup_records=warmup,
-                      start_index=start_index, on_record=on_record)
+                      start_index=start_index, on_record=on_record,
+                      barrier_every=every)
     metrics = collect_metrics(trace.name, prefetcher, variant, hierarchy,
                               result, module)
     if snapshotting:

@@ -103,17 +103,40 @@ class AddressTranslator:
         paddr, page_size = self.allocator.translate(vaddr)
         if self.dtlb.lookup(vaddr) is not None:
             return paddr, 0.0, page_size
+        return (paddr,
+                self._translate_after_dtlb_miss(vaddr, page_size, now,
+                                                walk_fn),
+                page_size)
+
+    def translate_cached(self, vaddr: int, page_size: int, now: float,
+                         walk_fn: WalkFn) -> float:
+        """Latency of a translation whose (paddr, page size) the caller
+        already precomputed; returns the extra latency in cycles.
+
+        Used by the hot-path kernel: the allocator side effects happened
+        during chunk preparation (``PhysicalMemoryAllocator.translate``
+        is a pure read once the page is mapped), so only the TLB/walk
+        machinery — with all its statistics and fills — runs here.
+        """
+        if self.dtlb.lookup(vaddr, page_size) is not None:
+            return 0.0
+        return self._translate_after_dtlb_miss(vaddr, page_size, now,
+                                               walk_fn)
+
+    def _translate_after_dtlb_miss(self, vaddr: int, page_size: int,
+                                   now: float, walk_fn: WalkFn) -> float:
+        """STLB probe, page walk and TLB fills after a DTLB miss."""
         latency = float(self.stlb.latency)
         if self.stlb.lookup(vaddr) is not None:
             self.dtlb.fill(vaddr, page_size)
-            return paddr, latency, page_size
+            return latency
         latency += self.walk(vaddr, page_size, now + latency, walk_fn)
         self.stlb.fill(vaddr, page_size)
         self.dtlb.fill(vaddr, page_size)
         if self.config.tlb_prefetch:
             self._prefetch_next_translation(vaddr, page_size, now + latency,
                                             walk_fn)
-        return paddr, latency, page_size
+        return latency
 
     def _prefetch_next_translation(self, vaddr: int, page_size: int,
                                    now: float, walk_fn: WalkFn) -> None:

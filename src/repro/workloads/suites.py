@@ -35,9 +35,34 @@ class WorkloadSpec:
         return int.from_bytes(digest[:4], "little")
 
     def generate(self, n_accesses: int) -> Trace:
-        records = GENERATORS[self.kind](n_accesses, self.seed(), **self.params)
-        return Trace(name=self.name, records=records,
+        """Build this workload's trace (memoized within the process).
+
+        Generation is deterministic — the seed is a pure function of the
+        name — so a sweep that simulates the same workload under several
+        configurations would otherwise regenerate an identical record
+        list per configuration.  The memo caches the records (immutable
+        tuples) keyed by the full generation inputs; each caller gets its
+        own ``Trace`` wrapping a fresh shallow copy, so mutating one
+        returned trace can never leak into another.
+        """
+        key = (self.name, self.kind, self.suite, self.thp_fraction,
+               repr(self.params), n_accesses)
+        records = _generate_memo.get(key)
+        if records is None:
+            records = GENERATORS[self.kind](n_accesses, self.seed(),
+                                            **self.params)
+            while len(_generate_memo) >= _GENERATE_MEMO_MAX:
+                _generate_memo.pop(next(iter(_generate_memo)))
+            _generate_memo[key] = records
+        return Trace(name=self.name, records=list(records),
                      thp_fraction=self.thp_fraction, suite=self.suite)
+
+
+#: FIFO-bounded cache of generated record lists (see ``generate``).  At
+#: REPRO_SCALE=large a 2M-access record list is ~100MB of tuples; the
+#: bound keeps a full-catalog sweep from accumulating 80 of them.
+_generate_memo: Dict[tuple, List] = {}
+_GENERATE_MEMO_MAX = 24
 
 
 def _spec06() -> List[WorkloadSpec]:

@@ -146,3 +146,74 @@ class TestRobustness:
         # A missing path is an OSError concern, not a format defect.
         with pytest.raises(FileNotFoundError):
             load_trace(tmp_path / "absent.trace")
+
+
+class TestColumnarNpz:
+    def test_round_trip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.records == trace.records
+        assert loaded.name == trace.name
+        assert loaded.thp_fraction == trace.thp_fraction
+        assert loaded.suite == trace.suite
+
+    def test_simulates_identically_to_jsonl(self, tmp_path):
+        trace = sample_trace(1500)
+        jsonl, npz = tmp_path / "t.trace", tmp_path / "t.npz"
+        save_trace(trace, jsonl)
+        save_trace(trace, npz)
+        a = simulate_trace(load_trace(jsonl), prefetcher="spp",
+                           variant="psa")
+        b = simulate_trace(load_trace(npz), prefetcher="spp",
+                           variant="psa")
+        assert a == b
+
+    def test_smaller_than_gzip_jsonl(self, tmp_path):
+        trace = sample_trace(2000)
+        zipped, npz = tmp_path / "t.trace.gz", tmp_path / "t.npz"
+        save_trace(trace, zipped)
+        save_trace(trace, npz)
+        assert npz.stat().st_size < zipped.stat().st_size
+
+    def test_corrupt_archive_raises_format_error(self, tmp_path):
+        path = tmp_path / "t.npz"
+        path.write_bytes(b"PK\x03\x04 this is not a real zip")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_truncated_archive_raises_format_error(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        path.write_bytes(path.read_bytes()[:-40])
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_missing_column_raises_format_error(self, tmp_path):
+        import numpy as np
+        path = tmp_path / "t.npz"
+        header = {"format_version": 1, "name": "x", "thp_fraction": 0.5}
+        np.savez_compressed(path, header=np.array(json.dumps(header)),
+                            ips=np.zeros(3, dtype=np.uint64))
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_record_count_mismatch_raises(self, tmp_path):
+        import numpy as np
+        path = tmp_path / "t.npz"
+        trace = sample_trace(10)
+        save_trace(trace, path)
+        with np.load(path) as data:
+            arrays = dict(data)
+        header = json.loads(str(arrays["header"]))
+        header["records"] = 99
+        arrays["header"] = np.array(json.dumps(header))
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "missing.npz")
