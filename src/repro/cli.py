@@ -15,6 +15,10 @@ Commands
   the persistent on-disk run cache.
 - ``snapshot`` : inspect (``snapshot stats|list``) or prune the
   crash-consistent mid-run snapshots left by interrupted runs.
+- ``campaign`` : declare (``campaign new``), execute (``campaign run``
+  incrementally, ``campaign worker`` sharded across processes/hosts),
+  and query (``campaign status|query|export``) parameter sweeps backed
+  by a sqlite results store.
 
 ``run`` and ``compare`` execute through the batch engine
 (``repro.sim.runner``): results are deduplicated, parallelised across
@@ -202,6 +206,10 @@ def cmd_cache(args) -> int:
         return 0
     if args.action == "list":
         entries = disk_cache.list_entries()
+        if args.json:
+            import json
+            print(json.dumps([e.to_dict() for e in entries], indent=2))
+            return 0
         if not entries:
             print(f"no cache entries under {disk_cache.cache_dir()}")
             return 0
@@ -247,6 +255,142 @@ def cmd_snapshot(args) -> int:
     scope = "all" if args.all else "stale"
     print(f"removed {removed} {scope} snapshot(s) from "
           f"{snapshot_store.snapshot_dir()}")
+    return 0
+
+
+def _campaign_from(args):
+    """Load the campaign spec an action targets, honouring --db."""
+    from repro.campaign import Campaign
+
+    if getattr(args, "db", None):
+        os.environ["REPRO_CAMPAIGN_DB"] = args.db
+    return Campaign.load(args.spec)
+
+
+def cmd_campaign_new(args) -> int:
+    from repro.campaign import Campaign
+    from repro.campaign.grid import parse_assignment, parse_where
+
+    axes = {}
+    for text in args.axis or []:
+        name, values = parse_assignment(text)
+        axes[name] = values
+    fixed = {}
+    for text in args.fixed or []:
+        name, values = parse_assignment(text)
+        if len(values) != 1:
+            print(f"error: --fixed {name} takes exactly one value",
+                  file=sys.stderr)
+            return 2
+        fixed[name] = values[0]
+    excludes = [parse_where(text.split(","))
+                for text in args.exclude or []]
+    campaign = Campaign(name=args.name, axes=axes, fixed=fixed,
+                        excludes=excludes)
+    campaign.save(args.spec)
+    print(campaign.describe())
+    print(f"spec written to {args.spec}")
+    return 0
+
+
+def cmd_campaign_status(args) -> int:
+    from repro.campaign import CampaignStore
+    from repro.campaign.worker import active_leases
+
+    campaign = _campaign_from(args)
+    with CampaignStore() as store:
+        store.register(campaign)
+        store.sync_from_cache(campaign)
+        status = store.status(campaign,
+                              leased=len(active_leases(campaign)))
+    print(campaign.describe())
+    print(status.describe())
+    return 0
+
+
+def cmd_campaign_run(args) -> int:
+    from repro.campaign import run_missing
+
+    campaign = _campaign_from(args)
+    report = run_missing(campaign, jobs=args.jobs,
+                         use_cache=not args.no_cache,
+                         timeout=args.timeout, retries=args.retries)
+    print(report.describe())
+    return 0 if report.complete else 1
+
+
+def cmd_campaign_worker(args) -> int:
+    from repro.campaign import run_worker
+
+    campaign = _campaign_from(args)
+    report = run_worker(campaign, worker=args.worker_id, ttl=args.ttl,
+                        max_cells=args.max_cells, timeout=args.timeout,
+                        retries=args.retries)
+    print(report.describe())
+    return 0 if not report.failed else 1
+
+
+def cmd_campaign_query(args) -> int:
+    from repro.campaign import CampaignStore
+    from repro.campaign.grid import parse_where
+
+    campaign = _campaign_from(args)
+    where = parse_where(args.where or [])
+    with CampaignStore() as store:
+        store.register(campaign)
+        store.sync_from_cache(campaign)
+        if args.speedups:
+            rows = store.speedup_rows(campaign,
+                                      baseline_value=args.baseline,
+                                      where=where or None)
+            if not rows:
+                print("no speedup rows (baseline cells missing?)")
+                return 1
+            columns = [k for k in rows[0] if k not in
+                       ("ipc", "baseline_ipc", "speedup")]
+            table_rows = [[row[c] for c in columns]
+                          + [row["ipc"], row["baseline_ipc"],
+                             (row["speedup"] - 1) * 100]
+                          for row in rows]
+            print(format_table(
+                columns + ["IPC", "baseline IPC", "speedup %"],
+                table_rows,
+                title=f"{campaign.name}: speedup over "
+                      f"{args.baseline}"))
+            return 0
+        fields = ([f.strip() for f in args.metrics.split(",")
+                   if f.strip()] if args.metrics else ["ipc", "l2_mpki"])
+        rows = store.rows(campaign, where=where or None,
+                          metrics_fields=fields)
+        if not rows:
+            print("no matching cells")
+            return 1
+        columns = [k for k in rows[0]
+                   if k not in ("source", "attempts", "wall_time_s")]
+        table_rows = [[row.get(c, "") for c in columns] for row in rows]
+        print(format_table(columns, table_rows,
+                           title=f"{campaign.name}: "
+                                 f"{len(rows)} cell(s)"))
+    return 0
+
+
+def cmd_campaign_export(args) -> int:
+    from repro.campaign import CampaignStore
+    from repro.campaign.grid import parse_where
+
+    campaign = _campaign_from(args)
+    where = parse_where(args.where or [])
+    with CampaignStore() as store:
+        store.register(campaign)
+        store.sync_from_cache(campaign)
+        text = store.export(campaign, fmt=args.format,
+                            where=where or None)
+    if args.out:
+        from pathlib import Path
+        Path(args.out).write_text(text)
+        print(f"wrote {args.format} export to {args.out}")
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -479,6 +623,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--prune", action="store_true",
                          help="with verify: move corrupt/stale entries "
                               "to <cache>/quarantine/")
+    p_cache.add_argument("--json", action="store_true",
+                         help="with list: emit entries as a JSON array")
     p_cache.set_defaults(func=cmd_cache)
 
     p_snap = sub.add_parser(
@@ -492,13 +638,112 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with prune: remove every snapshot, not just "
                              "stale-version ones")
     p_snap.set_defaults(func=cmd_snapshot)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="declarative parameter sweeps with a queryable store")
+    camp_sub = p_camp.add_subparsers(dest="campaign_command",
+                                     required=True)
+
+    def _camp_common(p, jobs=False, engine=False):
+        p.add_argument("--spec", required=True,
+                       help="campaign spec JSON (see 'campaign new')")
+        p.add_argument("--db", default=None,
+                       help="results database (default: "
+                            "REPRO_CAMPAIGN_DB or "
+                            "<cache>/campaigns.sqlite)")
+        if jobs:
+            p.add_argument("--jobs", type=int, default=None,
+                           help="engine worker processes")
+            p.add_argument("--no-cache", action="store_true",
+                           help="bypass the run caches")
+        if engine:
+            p.add_argument("--timeout", type=float, default=None,
+                           help="per-run watchdog seconds")
+            p.add_argument("--retries", type=int, default=None,
+                           help="extra attempts for transient failures")
+
+    p_new = camp_sub.add_parser(
+        "new", help="declare a campaign grid and write its spec")
+    p_new.add_argument("--name", required=True)
+    p_new.add_argument("--spec", required=True,
+                       help="output path for the spec JSON")
+    p_new.add_argument("--axis", action="append", metavar="NAME=V1,V2",
+                       help="one swept axis (repeatable); NAME is a "
+                            "RunRequest field or a dotted SystemConfig "
+                            "path like llc.size_bytes")
+    p_new.add_argument("--fixed", action="append", metavar="NAME=V",
+                       help="one fixed value applied to every cell "
+                            "(repeatable)")
+    p_new.add_argument("--exclude", action="append",
+                       metavar="K1=V1,K2=V2",
+                       help="drop cells matching all pairs (repeatable)")
+    p_new.set_defaults(func=cmd_campaign_new)
+
+    p_status = camp_sub.add_parser(
+        "status", help="completion summary of a campaign")
+    _camp_common(p_status)
+    p_status.set_defaults(func=cmd_campaign_status)
+
+    p_crun = camp_sub.add_parser(
+        "run", help="simulate every cell the store is missing")
+    _camp_common(p_crun, jobs=True, engine=True)
+    p_crun.set_defaults(func=cmd_campaign_run)
+
+    p_worker = camp_sub.add_parser(
+        "worker", help="pull-execute cells under an atomic lease "
+                       "(run N of these for a sharded sweep)")
+    _camp_common(p_worker, engine=True)
+    p_worker.add_argument("--worker-id", default=None,
+                          help="identity in lease files (default: "
+                               "REPRO_WORKER_ID or host-pid)")
+    p_worker.add_argument("--ttl", type=float, default=None,
+                          help="seconds before a peer's lease is "
+                               "presumed dead (default: "
+                               "REPRO_LEASE_TTL or 300)")
+    p_worker.add_argument("--max-cells", type=int, default=None,
+                          help="stop after claiming this many cells")
+    p_worker.set_defaults(func=cmd_campaign_worker)
+
+    p_query = camp_sub.add_parser(
+        "query", help="tabulate results straight from the store")
+    _camp_common(p_query)
+    p_query.add_argument("--where", action="append", metavar="K=V",
+                         help="axis filter (repeatable)")
+    p_query.add_argument("--speedups", action="store_true",
+                         help="IPC speedup of each cell over its "
+                              "baseline twin")
+    p_query.add_argument("--baseline", default="original",
+                         help="baseline variant for --speedups")
+    p_query.add_argument("--metrics", default=None,
+                         help="comma-separated RunMetrics fields "
+                              "(default: ipc,l2_mpki)")
+    p_query.set_defaults(func=cmd_campaign_query)
+
+    p_exp = camp_sub.add_parser(
+        "export", help="dump result rows as JSON or CSV")
+    _camp_common(p_exp)
+    p_exp.add_argument("--format", default="json",
+                       choices=["json", "csv"])
+    p_exp.add_argument("--where", action="append", metavar="K=V",
+                       help="axis filter (repeatable)")
+    p_exp.add_argument("--out", default=None,
+                       help="write to this file instead of stdout")
+    p_exp.set_defaults(func=cmd_campaign_export)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.campaign.grid import CampaignSpecError
+    from repro.sim.config import ConfigurationError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (CampaignSpecError, ConfigurationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

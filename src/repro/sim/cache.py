@@ -222,6 +222,12 @@ class CacheEntry:
     variant: str = "?"
     current: bool = False   # entry salt matches the running code version
 
+    def to_dict(self) -> dict:
+        """JSON-safe row for ``repro cache list --json`` consumers."""
+        return {"path": str(self.path), "size_bytes": self.size_bytes,
+                "workload": self.workload, "prefetcher": self.prefetcher,
+                "variant": self.variant, "current": self.current}
+
 
 def list_entries() -> "list[CacheEntry]":
     """Enumerate every readable cache entry, newest first.

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import re
 from dataclasses import dataclass, field
 
 
@@ -214,6 +215,25 @@ def env_float(name: str, default: float,
     if minimum is not None and value < minimum:
         raise ConfigurationError(
             f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def env_str(name: str, default: str,
+            pattern: str | None = None) -> str:
+    """Parse a string environment knob, or raise ConfigurationError.
+
+    ``pattern`` (a regex, fullmatch) constrains values that end up in
+    filenames or identifiers — a knob that fails it aborts loudly in
+    the parent process instead of producing unreadable paths deep in a
+    worker.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    value = raw.strip()
+    if pattern is not None and not re.fullmatch(pattern, value):
+        raise ConfigurationError(
+            f"{name} must match {pattern!r}, got {value!r}")
     return value
 
 

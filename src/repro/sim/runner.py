@@ -168,6 +168,17 @@ class EngineStats:
         return (self.simulated_accesses / self.batch_wall_s
                 if self.batch_wall_s else 0.0)
 
+    def to_dict(self) -> dict:
+        """Machine-readable snapshot: every counter plus the derived
+        rates, so campaign tooling and outside scripts never have to
+        parse ``summary_line`` text."""
+        data = {f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self)}
+        data["cache_hits"] = self.cache_hits
+        data["cache_hit_rate"] = self.cache_hit_rate
+        data["accesses_per_sec"] = self.accesses_per_sec
+        return data
+
     def summary_line(self) -> str:
         line = (f"engine: {self.requests} requests "
                 f"({self.simulated} simulated, {self.memo_hits} memo, "

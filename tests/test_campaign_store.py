@@ -1,0 +1,232 @@
+"""Campaign results store: registration, recording semantics, disk-cache
+sync, queries, speedup aggregation and export."""
+
+import json
+
+import pytest
+
+from repro.campaign.grid import Campaign, CampaignSpecError
+from repro.campaign.store import CampaignStore, store_path
+from repro.sim import cache as disk_cache
+from repro.sim.config import ConfigurationError
+from repro.sim.runner import run_batch
+
+
+def tiny_campaign(n_accesses=1100):
+    # Each test class passes a distinct access count: run keys are then
+    # disjoint, so the session-wide hermetic disk cache cannot leak
+    # results between classes (sync tests depend on cells being absent).
+    return Campaign(name="store-t",
+                    axes={"workload": ["lbm", "milc"],
+                          "variant": ["original", "psa"]},
+                    fixed={"prefetcher": "spp",
+                           "n_accesses": n_accesses})
+
+
+@pytest.fixture
+def store(tmp_path):
+    with CampaignStore(tmp_path / "campaigns.sqlite") as s:
+        yield s
+
+
+def simulate_cell(cell):
+    return run_batch([cell.request])[0]
+
+
+class TestRegistration:
+    def test_register_is_idempotent(self, store):
+        campaign = tiny_campaign()
+        first = store.register(campaign)
+        second = store.register(campaign)
+        assert len(first) == len(second) == 4
+        assert store.campaigns()[0]["campaign_id"] == campaign.campaign_id
+        assert len(store.campaigns()) == 1
+
+    def test_two_campaigns_coexist(self, store):
+        store.register(tiny_campaign())
+        other = Campaign(name="other", axes={"workload": ["lbm"]},
+                         fixed={"n_accesses": 500})
+        store.register(other)
+        assert len(store.campaigns()) == 2
+
+
+class TestRecording:
+    def test_record_and_missing(self, store):
+        campaign = tiny_campaign()
+        cells = store.register(campaign)
+        assert len(store.missing(campaign, cells)) == 4
+        metrics = simulate_cell(cells[0])
+        store.record(campaign.campaign_id, cells[0], "ok",
+                     metrics=metrics)
+        assert len(store.missing(campaign, cells)) == 3
+        assert store.done_indices(campaign.campaign_id) == {0: "ok"}
+
+    def test_failed_counts_as_missing(self, store):
+        campaign = tiny_campaign()
+        cells = store.register(campaign)
+        store.record(campaign.campaign_id, cells[0], "failed")
+        assert cells[0] in store.missing(campaign, cells)
+        status = store.status(campaign)
+        assert status.failed == 1 and status.missing == 4
+
+    def test_ok_never_downgraded(self, store):
+        campaign = tiny_campaign()
+        cells = store.register(campaign)
+        metrics = simulate_cell(cells[0])
+        store.record(campaign.campaign_id, cells[0], "ok",
+                     metrics=metrics)
+        store.record(campaign.campaign_id, cells[0], "failed")
+        assert store.done_indices(campaign.campaign_id)[0] == "ok"
+
+    def test_failure_upgraded_to_ok(self, store):
+        campaign = tiny_campaign()
+        cells = store.register(campaign)
+        store.record(campaign.campaign_id, cells[0], "failed")
+        store.record(campaign.campaign_id, cells[0], "ok",
+                     metrics=simulate_cell(cells[0]))
+        assert store.done_indices(campaign.campaign_id)[0] == "ok"
+
+    def test_metrics_roundtrip_bitwise(self, store):
+        campaign = tiny_campaign()
+        cells = store.register(campaign)
+        metrics = simulate_cell(cells[0])
+        store.record(campaign.campaign_id, cells[0], "ok",
+                     metrics=metrics)
+        stored = store.metrics_for(campaign)[0]
+        # wall_time_s is compare=False, so == is the bitwise check of
+        # every simulated quantity.
+        assert stored == metrics
+
+    def test_engine_stats_rows(self, store):
+        campaign = tiny_campaign()
+        store.register(campaign)
+        store.record_engine_stats(campaign.campaign_id,
+                                  {"simulated": 3, "memo_hits": 1})
+        rows = store.engine_stats_rows(campaign.campaign_id)
+        assert rows[0]["simulated"] == 3
+        assert "recorded_at" in rows[0]
+
+
+class TestSync:
+    def test_sync_ingests_disk_results(self, store):
+        campaign = tiny_campaign(n_accesses=1120)
+        cells = store.register(campaign)
+        # Publish two cells to the content-addressed cache the way any
+        # engine process would, then sync: the store must pick them up
+        # without touching the engine.
+        run_batch([cells[0].request, cells[2].request])
+        assert disk_cache.load(cells[0].key) is not None
+        ingested = store.sync_from_cache(campaign, cells)
+        assert ingested == 2
+        assert len(store.missing(campaign, cells)) == 2
+        rows = store.rows(campaign)
+        assert {r["status"] for r in rows} == {"ok", "missing"}
+        assert all(r["source"] == "disk" for r in rows
+                   if r["status"] == "ok")
+
+    def test_sync_is_idempotent(self, store):
+        campaign = tiny_campaign(n_accesses=1130)
+        cells = store.register(campaign)
+        run_batch([cells[0].request])
+        assert store.sync_from_cache(campaign, cells) == 1
+        assert store.sync_from_cache(campaign, cells) == 0
+
+
+class TestQueries:
+    def _populate(self, store, campaign):
+        cells = store.register(campaign)
+        for cell in cells:
+            store.record(campaign.campaign_id, cell, "ok",
+                         metrics=simulate_cell(cell))
+        return cells
+
+    def test_rows_with_where_filter(self, store):
+        campaign = tiny_campaign()
+        self._populate(store, campaign)
+        rows = store.rows(campaign, where={"workload": "lbm"})
+        assert len(rows) == 2
+        assert all(r["workload"] == "lbm" for r in rows)
+        assert all("ipc" in r for r in rows)
+
+    def test_rows_metrics_fields_selection(self, store):
+        campaign = tiny_campaign()
+        self._populate(store, campaign)
+        row = store.rows(campaign, metrics_fields=["ipc"])[0]
+        assert "ipc" in row and "l2_mpki" not in row
+
+    def test_speedup_rows_match_metrics(self, store):
+        campaign = tiny_campaign()
+        self._populate(store, campaign)
+        metrics = store.metrics_for(campaign)
+        by_params = {tuple(sorted(json.loads(r[1]).items())): r[0]
+                     for r in store._conn.execute(
+                         "SELECT cell_index, params_json FROM cells "
+                         "WHERE campaign_id = ?",
+                         (campaign.campaign_id,))}
+        rows = store.speedup_rows(campaign)
+        assert len(rows) == 2          # psa cells for lbm and milc
+        for row in rows:
+            target = metrics[by_params[tuple(sorted(
+                (k, v) for k, v in row.items()
+                if k not in ("ipc", "baseline_ipc", "speedup")))]]
+            assert row["speedup"] == pytest.approx(
+                target.ipc / row["baseline_ipc"])
+
+    def test_speedup_rows_where(self, store):
+        campaign = tiny_campaign()
+        self._populate(store, campaign)
+        rows = store.speedup_rows(campaign, where={"workload": "milc"})
+        assert len(rows) == 1 and rows[0]["workload"] == "milc"
+
+    def test_speedup_rows_unknown_axis(self, store):
+        campaign = tiny_campaign()
+        self._populate(store, campaign)
+        with pytest.raises(CampaignSpecError, match="no axis"):
+            store.speedup_rows(campaign, baseline_axis="flavour")
+
+    def test_speedup_rows_skip_missing_baseline(self, store):
+        campaign = tiny_campaign()
+        cells = store.register(campaign)
+        # Only the psa cells are done: no baseline twin, no rows.
+        for cell in cells:
+            if cell.param_dict()["variant"] == "psa":
+                store.record(campaign.campaign_id, cell, "ok",
+                             metrics=simulate_cell(cell))
+        assert store.speedup_rows(campaign) == []
+
+    def test_export_json(self, store):
+        campaign = tiny_campaign()
+        self._populate(store, campaign)
+        rows = json.loads(store.export(campaign, fmt="json"))
+        assert len(rows) == 4
+        assert {r["variant"] for r in rows} == {"original", "psa"}
+
+    def test_export_csv(self, store):
+        campaign = tiny_campaign()
+        self._populate(store, campaign)
+        lines = store.export(campaign, fmt="csv").strip().splitlines()
+        assert len(lines) == 5         # header + 4 cells
+        assert "workload" in lines[0] and "ipc" in lines[0]
+
+    def test_export_unknown_format(self, store):
+        campaign = tiny_campaign()
+        store.register(campaign)
+        with pytest.raises(CampaignSpecError, match="unknown export"):
+            store.export(campaign, fmt="xml")
+
+
+class TestStorePath:
+    def test_default_under_cache_dir(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CAMPAIGN_DB", raising=False)
+        assert store_path() == disk_cache.cache_dir() / "campaigns.sqlite"
+
+    def test_env_override(self, monkeypatch, tmp_path):
+        target = tmp_path / "elsewhere.sqlite"
+        monkeypatch.setenv("REPRO_CAMPAIGN_DB", str(target))
+        assert store_path() == target
+
+    def test_directory_rejected(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CAMPAIGN_DB", str(tmp_path))
+        with pytest.raises(ConfigurationError) as excinfo:
+            store_path()
+        assert "REPRO_CAMPAIGN_DB" in str(excinfo.value)

@@ -1,0 +1,205 @@
+"""Sharded worker-pull execution: lease atomicity, stale-lease
+reclamation, concurrent workers converging on one complete store, and
+fault-injected crashes."""
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+from repro.campaign.grid import Campaign
+from repro.campaign.store import CampaignStore
+from repro.campaign import worker as worker_mod
+from repro.campaign.worker import (
+    lease_path,
+    lease_root,
+    reclaim_if_stale,
+    run_worker,
+    try_claim,
+)
+from repro.sim import runner
+
+
+def tiny_campaign(n_accesses=1300, workloads=("lbm", "milc")):
+    return Campaign(name="worker-t",
+                    axes={"workload": list(workloads),
+                          "variant": ["original", "psa"]},
+                    fixed={"prefetcher": "spp",
+                           "n_accesses": n_accesses})
+
+
+@pytest.fixture
+def store(tmp_path):
+    with CampaignStore(tmp_path / "campaigns.sqlite") as s:
+        yield s
+
+
+class TestLeasePrimitives:
+    def test_claim_is_exclusive(self, tmp_path):
+        path = tmp_path / "cell.lease"
+        assert try_claim(path, "a")
+        assert not try_claim(path, "b")
+        assert json.loads(path.read_text())["worker"] == "a"
+
+    def test_claim_race_has_one_winner(self, tmp_path):
+        path = tmp_path / "cell.lease"
+        results = {}
+        barrier = threading.Barrier(16)
+
+        def racer(name):
+            barrier.wait()
+            results[name] = try_claim(path, name)
+
+        threads = [threading.Thread(target=racer, args=(f"w{i}",))
+                   for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(results.values()) == 1
+        winner = next(n for n, won in results.items() if won)
+        assert json.loads(path.read_text())["worker"] == winner
+
+    def test_release_allows_reclaim(self, tmp_path):
+        path = tmp_path / "cell.lease"
+        assert try_claim(path, "a")
+        worker_mod.release(path)
+        assert try_claim(path, "b")
+
+    def test_fresh_lease_not_reclaimed(self, tmp_path):
+        path = tmp_path / "cell.lease"
+        try_claim(path, "a")
+        assert not reclaim_if_stale(path, ttl=3600, worker="b")
+        assert path.exists()
+
+    def test_stale_lease_reclaimed_once(self, tmp_path):
+        path = tmp_path / "cell.lease"
+        try_claim(path, "a")
+        old = time.time() - 1000
+        os.utime(path, (old, old))
+        assert reclaim_if_stale(path, ttl=5, worker="b")
+        assert not path.exists()
+        # A second (racing) reclaimer finds nothing to take over.
+        assert not reclaim_if_stale(path, ttl=5, worker="c")
+
+    def test_missing_lease_age_is_none(self, tmp_path):
+        assert worker_mod.lease_age_s(tmp_path / "nope.lease") is None
+
+
+class TestSingleWorker:
+    def test_drains_grid_and_releases_leases(self, store):
+        campaign = tiny_campaign(n_accesses=1310)
+        report = run_worker(campaign, store=store, worker="solo")
+        assert report.simulated == 4 and report.failed == 0
+        assert store.status(campaign).complete
+        assert worker_mod.active_leases(campaign) == []
+
+    def test_max_cells_bounds_claims(self, store):
+        campaign = tiny_campaign(n_accesses=1320)
+        report = run_worker(campaign, store=store, worker="capped",
+                            max_cells=2)
+        assert report.claimed == 2
+        assert store.status(campaign).ok == 2
+
+    def test_noop_when_complete(self, store):
+        campaign = tiny_campaign(n_accesses=1330)
+        run_worker(campaign, store=store, worker="first")
+        report = run_worker(campaign, store=store, worker="second")
+        assert report.claimed == 0 and report.simulated == 0
+
+    def test_reclaims_stale_lease_of_dead_peer(self, store):
+        # A peer SIGKILLed mid-cell leaves its lease behind; a live
+        # worker must reclaim it and finish the cell.
+        campaign = tiny_campaign(n_accesses=1340)
+        cells = store.register(campaign)
+        stale = lease_path(campaign, cells[0])
+        try_claim(stale, "dead-peer")
+        old = time.time() - 1000
+        os.utime(stale, (old, old))
+        report = run_worker(campaign, store=store, worker="live", ttl=5)
+        assert report.reclaimed == 1
+        assert store.status(campaign).complete
+        assert worker_mod.active_leases(campaign) == []
+
+
+def _pull_worker(spec, db_path, name, faults, queue):
+    """Child-process entry: run one pull worker against the shared dirs."""
+    if faults:
+        os.environ["REPRO_FAULTS"] = faults
+    campaign = Campaign.from_dict(spec)
+    with CampaignStore(db_path) as store:
+        report = run_worker(campaign, store=store, worker=name,
+                            retries=0)
+    queue.put(report.to_dict())
+
+
+class TestConcurrentWorkers:
+    def _race(self, tmp_path, campaign, faults=(None, None)):
+        db = tmp_path / "campaigns.sqlite"
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        procs = [ctx.Process(target=_pull_worker,
+                             args=(campaign.to_dict(), db, name, fault,
+                                   queue))
+                 for name, fault in zip(("w1", "w2"), faults)]
+        for p in procs:
+            p.start()
+        reports = [queue.get(timeout=120) for _ in procs]
+        for p in procs:
+            p.join(timeout=30)
+        return db, {r["worker"]: r for r in reports}
+
+    def test_two_workers_one_complete_store(self, tmp_path):
+        campaign = tiny_campaign(
+            n_accesses=1350,
+            workloads=("lbm", "milc", "mcf"))           # 6 cells
+        db, reports = self._race(tmp_path, campaign)
+        # Leases make the partition exact: every cell simulated by
+        # exactly one worker, no duplicates.
+        assert sum(r["simulated"] for r in reports.values()) == 6
+        assert all(r["failed"] == 0 for r in reports.values())
+        with CampaignStore(db) as store:
+            status = store.status(campaign)
+            assert status.complete and status.total == 6
+            rows = store.rows(campaign)
+            assert len(rows) == 6
+            assert all(r["status"] == "ok" for r in rows)
+
+    def test_crashing_worker_peer_completes(self, tmp_path):
+        # Worker w1 crashes inside every cell it claims (REPRO_FAULTS
+        # fires at the run checkpoint; each pulled cell is a 1-cell
+        # batch, so crash@0 hits them all).  Its failures must not stop
+        # the healthy peer from finishing the sweep, and every lease
+        # must be released.
+        campaign = tiny_campaign(n_accesses=1360,
+                                 workloads=("lbm", "milc", "mcf"))
+        db, reports = self._race(tmp_path, campaign,
+                                 faults=("crash@0", None))
+        crashed, healthy = reports["w1"], reports["w2"]
+        assert crashed["failed"] == crashed["claimed"] - crashed["synced"]
+        assert healthy["failed"] == 0
+        with CampaignStore(db) as store:
+            assert store.status(campaign).complete
+        assert worker_mod.active_leases(campaign) == []
+
+
+class TestCrashFaultInProcess:
+    def test_faulty_worker_records_failures_then_heals(self, store,
+                                                       monkeypatch):
+        campaign = tiny_campaign(n_accesses=1370)
+        monkeypatch.setenv("REPRO_FAULTS", "crash@0")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0.01")
+        report = run_worker(campaign, store=store, worker="faulty",
+                            retries=0)
+        # Every claimed cell crashed; the local-failure set kept the
+        # pull loop from livelocking on them.
+        assert report.failed == report.claimed == 4
+        assert not store.status(campaign).complete
+
+        monkeypatch.delenv("REPRO_FAULTS")
+        report = run_worker(campaign, store=store, worker="healer")
+        assert report.failed == 0
+        assert store.status(campaign).complete

@@ -178,6 +178,27 @@ class TestCache:
         assert main(["cache", "list"]) == 0
         assert "no cache entries" in capsys.readouterr().out
 
+    def test_list_json(self, capsys):
+        import json
+        from repro.sim import runner
+        runner.clear_cache()   # force a real simulation + disk write
+        self._populate()
+        assert main(["cache", "list", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert entries, "populated cache must list at least one entry"
+        row = next(e for e in entries if e["workload"] == "lbm"
+                   and e["variant"] == "psa")
+        assert row["prefetcher"] == "spp"
+        assert row["current"] is True
+        assert row["size_bytes"] > 0
+
+    def test_list_json_empty_is_valid_json(self, capsys):
+        import json
+        assert main(["cache", "clear"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "list", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
 
 class TestVerify:
     def test_oracle_single_workload(self, capsys):
@@ -219,6 +240,89 @@ class TestVerify:
         assert main(["verify", "--golden",
                      "--golden-dir", str(corpus)]) == 0
         assert "OK" in capsys.readouterr().out
+
+
+class TestCampaign:
+    """End-to-end CLI drive of the campaign layer."""
+
+    @pytest.fixture
+    def spec(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CAMPAIGN_DB",
+                           str(tmp_path / "campaigns.sqlite"))
+        path = tmp_path / "spec.json"
+        assert main(["campaign", "new", "--name", "cli-t",
+                     "--spec", str(path),
+                     "--axis", "workload=lbm,milc",
+                     "--axis", "variant=original,psa",
+                     "--fixed", "prefetcher=spp",
+                     "--fixed", "n_accesses=1400"]) == 0
+        capsys.readouterr()
+        return str(path)
+
+    def test_new_writes_spec_and_describes(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        assert main(["campaign", "new", "--name", "demo",
+                     "--spec", str(path),
+                     "--axis", "workload=lbm"]) == 0
+        out = capsys.readouterr().out
+        assert path.exists()
+        assert "cells     : 1" in out
+
+    def test_new_unknown_axis_exits_2(self, tmp_path, capsys):
+        assert main(["campaign", "new", "--name", "bad",
+                     "--spec", str(tmp_path / "bad.json"),
+                     "--axis", "warp_factor=9"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_status_query_export(self, spec, tmp_path, capsys):
+        assert main(["campaign", "run", "--spec", spec,
+                     "--jobs", "1"]) == 0
+        assert "4/4 cells done" in capsys.readouterr().out
+
+        assert main(["campaign", "status", "--spec", spec]) == 0
+        assert "complete" in capsys.readouterr().out
+
+        assert main(["campaign", "query", "--spec", spec,
+                     "--speedups"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup %" in out and "lbm" in out
+
+        assert main(["campaign", "query", "--spec", spec,
+                     "--where", "workload=milc"]) == 0
+        out = capsys.readouterr().out
+        assert "milc" in out and "2 cell(s)" in out
+
+        export = tmp_path / "rows.csv"
+        assert main(["campaign", "export", "--spec", spec,
+                     "--format", "csv", "--out", str(export)]) == 0
+        assert export.read_text().count("\n") == 5   # header + 4 cells
+
+    def test_rerun_schedules_nothing(self, spec, capsys):
+        assert main(["campaign", "run", "--spec", spec,
+                     "--jobs", "1"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "run", "--spec", spec,
+                     "--jobs", "1"]) == 0
+        assert "(4 already stored, 0 synced from cache, 0 simulated)" \
+            in capsys.readouterr().out
+
+    def test_worker_drains_grid(self, spec, capsys):
+        assert main(["campaign", "worker", "--spec", spec,
+                     "--worker-id", "cli-worker"]) == 0
+        out = capsys.readouterr().out
+        assert "worker cli-worker" in out
+        assert main(["campaign", "status", "--spec", spec]) == 0
+        assert "complete" in capsys.readouterr().out
+
+    def test_missing_spec_exits_2(self, tmp_path, capsys):
+        assert main(["campaign", "status",
+                     "--spec", str(tmp_path / "absent.json")]) == 2
+        assert "no campaign spec" in capsys.readouterr().err
+
+    def test_bad_worker_id_exits_2(self, spec, capsys):
+        assert main(["campaign", "worker", "--spec", spec,
+                     "--worker-id", "not ok"]) == 2
+        assert "worker id" in capsys.readouterr().err
 
 
 class TestReport:

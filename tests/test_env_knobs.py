@@ -5,8 +5,10 @@ supervisor would misclassify as a permanent simulation failure)."""
 
 import pytest
 
+from repro.campaign import store as campaign_store
+from repro.campaign import worker as campaign_worker
 from repro.sim import runner, snapshot, supervisor
-from repro.sim.config import ConfigurationError, env_float, env_int
+from repro.sim.config import ConfigurationError, env_float, env_int, env_str
 
 
 class TestEnvHelpers:
@@ -45,6 +47,22 @@ class TestEnvHelpers:
             env_float("REPRO_TEST_KNOB", 0.0)
         assert "REPRO_TEST_KNOB" in str(excinfo.value)
         assert "soon" in str(excinfo.value)
+
+    def test_str_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+        assert env_str("REPRO_TEST_KNOB", "fallback") == "fallback"
+
+    def test_str_pattern_enforced(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "has spaces!")
+        with pytest.raises(ConfigurationError) as excinfo:
+            env_str("REPRO_TEST_KNOB", "x", pattern=r"[A-Za-z0-9._-]+")
+        assert "REPRO_TEST_KNOB" in str(excinfo.value)
+        assert "has spaces!" in str(excinfo.value)
+
+    def test_str_strips_and_passes_pattern(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "  node-7.a  ")
+        assert env_str("REPRO_TEST_KNOB", "x",
+                       pattern=r"[A-Za-z0-9._-]+") == "node-7.a"
 
     def test_not_a_value_error(self):
         # ValueError is in the supervisor's PERMANENT_EXCEPTIONS set; a
@@ -89,3 +107,53 @@ class TestKnobConsumers:
         assert supervisor.run_timeout() == 1.5
         assert snapshot.snapshot_every() == 100
         assert snapshot.snapshot_enabled()
+
+
+class TestCampaignKnobs:
+    """The campaign layer's knobs go through the same machinery."""
+
+    def test_lease_ttl_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LEASE_TTL", "forever")
+        with pytest.raises(ConfigurationError) as excinfo:
+            campaign_worker.lease_ttl()
+        assert "REPRO_LEASE_TTL" in str(excinfo.value)
+        assert "forever" in str(excinfo.value)
+
+    def test_lease_ttl_non_positive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LEASE_TTL", "0")
+        with pytest.raises(ConfigurationError):
+            campaign_worker.lease_ttl()
+
+    def test_lease_ttl_override_validated(self):
+        with pytest.raises(ConfigurationError):
+            campaign_worker.lease_ttl(-1.0)
+
+    def test_lease_ttl_values(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LEASE_TTL", raising=False)
+        assert campaign_worker.lease_ttl() == \
+               campaign_worker.DEFAULT_LEASE_TTL_S
+        monkeypatch.setenv("REPRO_LEASE_TTL", "12.5")
+        assert campaign_worker.lease_ttl() == 12.5
+        assert campaign_worker.lease_ttl(7.0) == 7.0
+
+    def test_worker_id_pattern(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_ID", "no spaces allowed")
+        with pytest.raises(ConfigurationError) as excinfo:
+            campaign_worker.worker_id()
+        assert "REPRO_WORKER_ID" in str(excinfo.value)
+
+    def test_worker_id_override_validated(self):
+        with pytest.raises(ConfigurationError):
+            campaign_worker.worker_id("../escape")
+
+    def test_worker_id_values(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_ID", "host-3.shard_1")
+        assert campaign_worker.worker_id() == "host-3.shard_1"
+        monkeypatch.delenv("REPRO_WORKER_ID")
+        assert campaign_worker.worker_id()   # host-pid default
+
+    def test_campaign_db_directory_rejected(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CAMPAIGN_DB", str(tmp_path))
+        with pytest.raises(ConfigurationError) as excinfo:
+            campaign_store.store_path()
+        assert "REPRO_CAMPAIGN_DB" in str(excinfo.value)
