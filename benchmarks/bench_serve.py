@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Load benchmark of the ``repro serve`` daemon.
+
+Boots a real daemon on an ephemeral port and drives it over HTTP with
+the stdlib client through three traffic phases:
+
+1. **cold_miss** — distinct never-seen submissions against an empty
+   cache: every request queues, runs a real simulation, and is waited
+   to a terminal state.  This prices the full miss path (admission +
+   queue + engine batch + checkpoint + long-poll).
+2. **cache_hit** — the same submissions replayed: every request is
+   answered inline from the content-addressed disk cache.  This is the
+   serving layer's whole value proposition; the acceptance bar is a
+   cache-hit p99 at least 100x below the cold-miss p99.
+3. **mixed** — concurrent clients replaying a hit-heavy mix (hits,
+   coalescing duplicates, and a few fresh misses), measuring aggregate
+   requests/sec under realistic traffic.
+
+Each phase reports requests/sec and client-observed p50/p99 latency.
+Emits ``BENCH_serve.json`` at the repo root.
+
+Usage::
+
+    python benchmarks/bench_serve.py
+    REPRO_SCALE=small python benchmarks/bench_serve.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_common import representative_workloads  # noqa: E402
+
+from repro.serve.app import start_in_thread  # noqa: E402
+from repro.serve.client import ServeClient  # noqa: E402
+from repro.serve.queue import percentile  # noqa: E402
+from repro.sim import runner  # noqa: E402
+from repro.sim.config import accesses_for_scale, current_scale  # noqa: E402
+
+RESULTS_PATH = REPO_ROOT / "BENCH_serve.json"
+
+#: Mixed phase: concurrent clients x requests per client.
+MIXED_CLIENTS = 4
+MIXED_REQUESTS = 25
+
+
+def submissions() -> list:
+    """Distinct request bodies: representative workloads x 2 variants."""
+    return [{"workload": workload, "variant": variant,
+             "n_accesses": accesses_for_scale()}
+            for workload in representative_workloads()
+            for variant in ("original", "psa")]
+
+
+def _phase(name: str, samples: list, seconds: float, extra=None) -> dict:
+    data = {
+        "requests": len(samples),
+        "seconds": round(seconds, 3),
+        "requests_per_sec": round(len(samples) / seconds, 2)
+        if seconds else 0.0,
+        "latency_s": {
+            "p50": round(percentile(samples, 0.50), 6),
+            "p99": round(percentile(samples, 0.99), 6),
+        },
+    }
+    data.update(extra or {})
+    print(f"  {name:10s} {data['requests']:4d} requests in "
+          f"{data['seconds']:8.3f}s = {data['requests_per_sec']:8.2f} "
+          f"req/s  (p50 {data['latency_s']['p50'] * 1e3:9.3f}ms, "
+          f"p99 {data['latency_s']['p99'] * 1e3:9.3f}ms)", flush=True)
+    return data
+
+
+def phase_cold_miss(client: ServeClient, bodies: list) -> dict:
+    samples = []
+    begin = time.perf_counter()
+    for body in bodies:
+        t0 = time.perf_counter()
+        response = client.submit_and_wait(body, timeout=600)
+        samples.append(time.perf_counter() - t0)
+        assert response.status == 200, response.body
+        # Inline hit carries top-level status; a waited miss nests it.
+        status = response.body.get("status") \
+            or response.body["result"]["status"]
+        assert status == "ok", response.body
+    return _phase("cold_miss", samples, time.perf_counter() - begin,
+                  {"mode": "distinct submissions, empty cache, "
+                           "long-polled to completion"})
+
+
+def phase_cache_hit(client: ServeClient, bodies: list,
+                    rounds: int = 5) -> dict:
+    samples = []
+    begin = time.perf_counter()
+    for _ in range(rounds):
+        for body in bodies:
+            t0 = time.perf_counter()
+            response = client.submit(body)
+            samples.append(time.perf_counter() - t0)
+            assert response.status == 200, response.body
+            assert response.body["source"] == "cache", response.body
+    return _phase("cache_hit", samples, time.perf_counter() - begin,
+                  {"mode": f"same submissions x{rounds}, warm cache: "
+                           f"every request answered inline"})
+
+
+def phase_mixed(port: int, bodies: list) -> dict:
+    """Concurrent clients over a hit-heavy mix with a few fresh misses."""
+    fresh = [{"workload": body["workload"], "variant": body["variant"],
+              "n_accesses": body["n_accesses"] + 16}
+             for body in bodies[:2]]
+    samples_per_client = [[] for _ in range(MIXED_CLIENTS)]
+    errors = []
+
+    def _drive(index: int) -> None:
+        client = ServeClient(port=port, client_id=f"bench-{index}",
+                             timeout=600)
+        try:
+            for step in range(MIXED_REQUESTS):
+                # ~90% hits, ~10% misses (coalescing across clients).
+                if step % 10 == 0:
+                    body = fresh[step // 10 % len(fresh)]
+                else:
+                    body = bodies[(index + step) % len(bodies)]
+                t0 = time.perf_counter()
+                response = client.submit_and_wait(body, timeout=600)
+                samples_per_client[index].append(
+                    time.perf_counter() - t0)
+                assert response.status == 200, response.body
+        except Exception as exc:       # surface in the parent
+            errors.append((index, exc))
+
+    begin = time.perf_counter()
+    threads = [threading.Thread(target=_drive, args=(i,))
+               for i in range(MIXED_CLIENTS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - begin
+    assert not errors, errors
+    samples = [s for per_client in samples_per_client for s in per_client]
+    return _phase("mixed", samples, elapsed,
+                  {"mode": f"{MIXED_CLIENTS} concurrent clients x "
+                           f"{MIXED_REQUESTS} requests, ~90% hits"})
+
+
+def main() -> int:
+    bodies = submissions()
+    with tempfile.TemporaryDirectory() as cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+        runner.clear_cache()
+        runner.reset_engine_stats()
+        handle = start_in_thread(port=0, queue_depth=256, quota=0,
+                                 batch_linger_s=0.02)
+        try:
+            client = ServeClient(port=handle.port, client_id="bench")
+            print(f"daemon on port {handle.port}, "
+                  f"{len(bodies)} distinct submissions", flush=True)
+            phases = {
+                "cold_miss": phase_cold_miss(client, bodies),
+                "cache_hit": phase_cache_hit(client, bodies),
+                "mixed": phase_mixed(handle.port, bodies),
+            }
+            server_metrics = client.metrics().body
+        finally:
+            handle.stop()
+
+    hit_p99 = phases["cache_hit"]["latency_s"]["p99"]
+    miss_p99 = phases["cold_miss"]["latency_s"]["p99"]
+    ratio = round(miss_p99 / hit_p99, 1) if hit_p99 else None
+    payload = {
+        "benchmark": "bench_serve",
+        "traffic": (f"{len(bodies)} distinct submissions "
+                    f"({len(bodies) // 2} workloads x original/psa)"),
+        "scale": current_scale(),
+        "accesses_per_run": accesses_for_scale(),
+        "machine": {"cores": os.cpu_count(),
+                    "platform": f"{platform.system()} "
+                                f"{platform.machine()}",
+                    "python": platform.python_version()},
+        "phases": phases,
+        "miss_p99_over_hit_p99": ratio,
+        "server_metrics": {
+            "hit_rate": server_metrics["hit_rate"],
+            "counters": server_metrics["counters"],
+            "service_time_s": server_metrics["service_time_s"],
+            "worker_utilization": server_metrics["worker_utilization"],
+        },
+        "note": (
+            "'cold_miss' long-polls distinct submissions through the "
+            "queue and engine; 'cache_hit' replays them against the "
+            "warm content-addressed cache (admission answers inline); "
+            "'mixed' is concurrent clients at ~90% hits. "
+            "miss_p99_over_hit_p99 >= 100 is the acceptance bar: a "
+            "cache hit must be at least two orders of magnitude "
+            "cheaper than a simulation."),
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\narchived to {RESULTS_PATH}")
+    assert ratio is None or ratio >= 100, \
+        f"cache-hit p99 only {ratio}x below cold-miss p99"
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -130,10 +130,31 @@ class CampaignStatus:
 
 
 class CampaignStore:
-    """One connection to the campaign results database."""
+    """One connection to the campaign results database.
 
-    def __init__(self, path: Optional[os.PathLike] = None):
+    ``read_only=True`` opens a query-only view of a store that another
+    process may be actively writing: no mkdir, no schema creation, no
+    WAL-mode pragma, and every mutating method raises.  The connection
+    first tries a true ``mode=ro`` sqlite URI; if sqlite cannot
+    initialise WAL access that way (a reader may need to create the
+    ``-shm`` index when the last writer crashed — the classic
+    SQLITE_READONLY_CANTINIT gap), it falls back to an ordinary file
+    handle hardened with ``PRAGMA query_only=ON``, which sqlite enforces
+    for the lifetime of the connection.  Either way a live sweep's rows
+    are visible mid-run and the store's contents are never mutated.
+    """
+
+    def __init__(self, path: Optional[os.PathLike] = None,
+                 read_only: bool = False):
         self.path = Path(path) if path is not None else store_path()
+        self.read_only = read_only
+        if read_only:
+            if not self.path.exists():
+                raise ConfigurationError(
+                    f"no campaign database at {self.path} "
+                    f"(read-only mode never creates one)")
+            self._conn = self._connect_read_only()
+            return
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(str(self.path), timeout=30.0)
         self._conn.execute("PRAGMA journal_mode=WAL")
@@ -143,6 +164,25 @@ class CampaignStore:
             self._conn.execute(
                 "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
                 ("schema_version", str(SCHEMA_VERSION)))
+
+    def _connect_read_only(self) -> sqlite3.Connection:
+        uri = f"file:{self.path}?mode=ro"
+        try:
+            conn = sqlite3.connect(uri, uri=True, timeout=30.0)
+            # Probe immediately: WAL recovery problems only surface on
+            # the first read, not at connect time.
+            conn.execute("SELECT 1 FROM sqlite_master LIMIT 1").fetchone()
+            return conn
+        except sqlite3.OperationalError:
+            conn = sqlite3.connect(str(self.path), timeout=30.0)
+            conn.execute("PRAGMA query_only=ON")
+            return conn
+
+    def _guard_write(self, operation: str) -> None:
+        if self.read_only:
+            raise ConfigurationError(
+                f"cannot {operation}: store opened read-only "
+                f"({self.path})")
 
     def close(self) -> None:
         self._conn.close()
@@ -157,6 +197,7 @@ class CampaignStore:
 
     def register(self, campaign: Campaign) -> List[CampaignCell]:
         """Idempotently record the campaign identity and its cell grid."""
+        self._guard_write("register a campaign")
         cells = campaign.cells()
         with self._conn:
             self._conn.execute(
@@ -189,6 +230,7 @@ class CampaignStore:
                source: str = "simulated",
                wall_time_s: float = 0.0) -> None:
         """Record one cell outcome; an ``ok`` row is never downgraded."""
+        self._guard_write("record a result")
         metrics_json = (json.dumps(disk_cache.metrics_to_dict(metrics),
                                    sort_keys=True)
                         if metrics is not None else None)
@@ -210,6 +252,7 @@ class CampaignStore:
 
     def record_engine_stats(self, campaign_id: str,
                             stats: Mapping[str, object]) -> None:
+        self._guard_write("record engine stats")
         with self._conn:
             self._conn.execute(
                 "INSERT INTO engine_stats "
@@ -252,6 +295,7 @@ class CampaignStore:
         whose digest already resolves in the content-addressed cache is
         recorded as done without touching the engine.
         """
+        self._guard_write("sync from the disk cache")
         ingested = 0
         for cell in self.missing(campaign, cells):
             metrics = disk_cache.load(cell.key)

@@ -17,8 +17,12 @@ Commands
   crash-consistent mid-run snapshots left by interrupted runs.
 - ``campaign`` : declare (``campaign new``), execute (``campaign run``
   incrementally, ``campaign worker`` sharded across processes/hosts),
-  and query (``campaign status|query|export``) parameter sweeps backed
-  by a sqlite results store.
+  and query (``campaign status|query|export``, ``--read-only`` for a
+  query-only view of a live sweep's store) parameter sweeps backed by a
+  sqlite results store.
+- ``serve``    : run the simulation-as-a-service HTTP daemon
+  (cache-hit admission, bounded queue, per-client quotas, progress
+  streaming; see ``repro.serve``).
 
 ``run`` and ``compare`` execute through the batch engine
 (``repro.sim.runner``): results are deduplicated, parallelised across
@@ -298,9 +302,11 @@ def cmd_campaign_status(args) -> int:
     from repro.campaign.worker import active_leases
 
     campaign = _campaign_from(args)
-    with CampaignStore() as store:
-        store.register(campaign)
-        store.sync_from_cache(campaign)
+    read_only = getattr(args, "read_only", False)
+    with CampaignStore(read_only=read_only) as store:
+        if not read_only:
+            store.register(campaign)
+            store.sync_from_cache(campaign)
         status = store.status(campaign,
                               leased=len(active_leases(campaign)))
     print(campaign.describe())
@@ -336,9 +342,11 @@ def cmd_campaign_query(args) -> int:
 
     campaign = _campaign_from(args)
     where = parse_where(args.where or [])
-    with CampaignStore() as store:
-        store.register(campaign)
-        store.sync_from_cache(campaign)
+    read_only = getattr(args, "read_only", False)
+    with CampaignStore(read_only=read_only) as store:
+        if not read_only:
+            store.register(campaign)
+            store.sync_from_cache(campaign)
         if args.speedups:
             rows = store.speedup_rows(campaign,
                                       baseline_value=args.baseline,
@@ -380,9 +388,11 @@ def cmd_campaign_export(args) -> int:
 
     campaign = _campaign_from(args)
     where = parse_where(args.where or [])
-    with CampaignStore() as store:
-        store.register(campaign)
-        store.sync_from_cache(campaign)
+    read_only = getattr(args, "read_only", False)
+    with CampaignStore(read_only=read_only) as store:
+        if not read_only:
+            store.register(campaign)
+            store.sync_from_cache(campaign)
         text = store.export(campaign, fmt=args.format,
                             where=where or None)
     if args.out:
@@ -392,6 +402,20 @@ def cmd_campaign_export(args) -> int:
     else:
         sys.stdout.write(text)
     return 0
+
+
+def cmd_serve(args) -> int:
+    import logging
+
+    from repro.serve.app import ServeApp
+
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper(), logging.INFO),
+        format="%(asctime)s %(name)s %(message)s")
+    app = ServeApp(host=args.host, port=args.port,
+                   queue_depth=args.queue_max, quota=args.quota,
+                   engine_jobs=args.jobs)
+    return app.run()
 
 
 def cmd_verify(args) -> int:
@@ -645,13 +669,19 @@ def build_parser() -> argparse.ArgumentParser:
     camp_sub = p_camp.add_subparsers(dest="campaign_command",
                                      required=True)
 
-    def _camp_common(p, jobs=False, engine=False):
+    def _camp_common(p, jobs=False, engine=False, query=False):
         p.add_argument("--spec", required=True,
                        help="campaign spec JSON (see 'campaign new')")
         p.add_argument("--db", default=None,
                        help="results database (default: "
                             "REPRO_CAMPAIGN_DB or "
                             "<cache>/campaigns.sqlite)")
+        if query:
+            p.add_argument("--read-only", action="store_true",
+                           help="open the store query-only (safe "
+                                "against a live sweep writing it; "
+                                "skips the register/cache-sync "
+                                "writes)")
         if jobs:
             p.add_argument("--jobs", type=int, default=None,
                            help="engine worker processes")
@@ -682,7 +712,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_status = camp_sub.add_parser(
         "status", help="completion summary of a campaign")
-    _camp_common(p_status)
+    _camp_common(p_status, query=True)
     p_status.set_defaults(func=cmd_campaign_status)
 
     p_crun = camp_sub.add_parser(
@@ -707,7 +737,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_query = camp_sub.add_parser(
         "query", help="tabulate results straight from the store")
-    _camp_common(p_query)
+    _camp_common(p_query, query=True)
     p_query.add_argument("--where", action="append", metavar="K=V",
                          help="axis filter (repeatable)")
     p_query.add_argument("--speedups", action="store_true",
@@ -722,7 +752,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = camp_sub.add_parser(
         "export", help="dump result rows as JSON or CSV")
-    _camp_common(p_exp)
+    _camp_common(p_exp, query=True)
     p_exp.add_argument("--format", default="json",
                        choices=["json", "csv"])
     p_exp.add_argument("--where", action="append", metavar="K=V",
@@ -730,6 +760,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--out", default=None,
                        help="write to this file instead of stdout")
     p_exp.set_defaults(func=cmd_campaign_export)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service HTTP daemon")
+    p_serve.add_argument("--host", default=None,
+                         help="bind address (default: REPRO_SERVE_HOST "
+                              "or 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="TCP port (default: REPRO_SERVE_PORT or "
+                              "8787; 0 = ephemeral)")
+    p_serve.add_argument("--queue-max", type=int, default=None,
+                         help="bounded admission-queue depth (default: "
+                              "REPRO_QUEUE_MAX or 256)")
+    p_serve.add_argument("--quota", type=int, default=None,
+                         help="in-flight jobs per client (default: "
+                              "REPRO_CLIENT_QUOTA or 64; 0 = unlimited)")
+    p_serve.add_argument("--jobs", type=int, default=None,
+                         help="engine worker processes per batch "
+                              "(default: REPRO_JOBS or all cores)")
+    p_serve.add_argument("--log-level", default="info",
+                         choices=["debug", "info", "warning", "error"])
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

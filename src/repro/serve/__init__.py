@@ -1,0 +1,29 @@
+"""Simulation-as-a-service: the ``repro serve`` daemon and its client.
+
+The serving layer turns the existing substrate into an online system:
+the content-addressed disk cache is the admission layer (fingerprint
+hits are answered inline in microseconds), the supervised batch engine
+is the backend (misses queue, coalesce, and execute under watchdogs and
+retries with per-completion disk checkpointing), and the mid-run
+snapshot store powers progress streaming.  See ``repro.serve.app`` for
+the endpoint and backpressure contract.
+"""
+
+from repro.serve.app import (
+    ServeApp,
+    ServeHandle,
+    client_quota,
+    queue_max,
+    serve_host,
+    serve_port,
+    start_in_thread,
+)
+from repro.serve.client import Response, ServeClient, ServeClientError
+from repro.serve.protocol import ProtocolError, parse_run_request
+
+__all__ = [
+    "ServeApp", "ServeHandle", "start_in_thread",
+    "ServeClient", "ServeClientError", "Response",
+    "ProtocolError", "parse_run_request",
+    "serve_host", "serve_port", "queue_max", "client_quota",
+]

@@ -1,0 +1,172 @@
+"""Stdlib HTTP client for the ``repro serve`` daemon.
+
+Built on ``http.client`` (which transparently decodes the daemon's
+chunked progress streams), one connection per call, so it works from
+tests, benchmarks, scripts and other hosts without any dependency.
+
+Every method returns a :class:`Response` carrying the raw HTTP status
+and the parsed JSON body — tests assert on status codes directly
+(200 hit, 202 queued, 400 bad request, 404 unknown job, 429
+backpressure/quota).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+class ServeClientError(RuntimeError):
+    """The daemon could not be reached or answered garbage."""
+
+
+@dataclass
+class Response:
+    """One daemon reply: HTTP status + parsed JSON body (+ headers)."""
+
+    status: int
+    body: dict
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def retry_after_s(self) -> Optional[int]:
+        raw = self.headers.get("retry-after")
+        return int(raw) if raw is not None else None
+
+
+class ServeClient:
+    """Talks to one daemon; ``client_id`` scopes the server-side quota."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787,
+                 client_id: Optional[str] = None, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+
+    def _headers(self) -> Dict[str, str]:
+        headers = {"Content-Type": "application/json",
+                   "Connection": "close"}
+        if self.client_id:
+            headers["X-Client-Id"] = self.client_id
+        return headers
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> Response:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = json.dumps(payload).encode() if payload is not None \
+                else None
+            conn.request(method, path, body=body, headers=self._headers())
+            raw = conn.getresponse()
+            data = raw.read()
+            headers = {k.lower(): v for k, v in raw.getheaders()}
+            try:
+                parsed = json.loads(data.decode()) if data else {}
+            except ValueError as exc:
+                raise ServeClientError(
+                    f"{method} {path}: non-JSON body "
+                    f"({data[:120]!r})") from exc
+            return Response(status=raw.status, body=parsed,
+                            headers=headers)
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServeClientError(
+                f"{method} {path} against "
+                f"{self.host}:{self.port} failed: {exc}") from exc
+        finally:
+            conn.close()
+
+    # -- endpoints -----------------------------------------------------
+
+    def healthz(self) -> Response:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Response:
+        return self._request("GET", "/metrics")
+
+    def submit(self, request: dict) -> Response:
+        """Submit one run request object (see ``serve.protocol``)."""
+        return self._request("POST", "/submit", request)
+
+    def submit_batch(self, requests: List[dict]) -> Response:
+        return self._request("POST", "/batch", {"requests": requests})
+
+    def job(self, job_id: str, wait: float = 0.0) -> Response:
+        path = f"/jobs/{job_id}"
+        if wait > 0:
+            path += f"?wait={wait:g}"
+        return self._request("GET", path)
+
+    def progress(self, job_id: str, detail: bool = False) -> Response:
+        path = f"/jobs/{job_id}/progress"
+        if detail:
+            path += "?detail=1"
+        return self._request("GET", path)
+
+    def progress_stream(self, job_id: str, interval: float = 0.25,
+                        detail: bool = False) -> Iterator[dict]:
+        """Yield progress events from the chunked stream until the job
+        reaches a terminal state (the last yielded event carries it)."""
+        path = (f"/jobs/{job_id}/progress?stream=1"
+                f"&interval={interval:g}")
+        if detail:
+            path += "&detail=1"
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", path, headers=self._headers())
+            raw = conn.getresponse()
+            if raw.status != 200:
+                body = raw.read()
+                raise ServeClientError(
+                    f"progress stream for {job_id}: HTTP {raw.status} "
+                    f"({body[:120]!r})")
+            while True:
+                line = raw.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode())
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServeClientError(
+                f"progress stream for {job_id} failed: {exc}") from exc
+        finally:
+            conn.close()
+
+    # -- conveniences --------------------------------------------------
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll_wait: float = 10.0) -> Response:
+        """Long-poll until the job is terminal (or *timeout* expires)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServeClientError(
+                    f"job {job_id} still not terminal after {timeout}s")
+            response = self.job(job_id,
+                                wait=min(poll_wait, max(0.1, remaining)))
+            if response.status != 200:
+                return response
+            if response.body.get("state") == "done":
+                return response
+
+    def submit_and_wait(self, request: dict,
+                        timeout: float = 300.0) -> Response:
+        """Submit; an inline cache hit returns immediately, a queued
+        miss is waited on and the terminal job status returned."""
+        response = self.submit(request)
+        if response.status != 202:
+            return response
+        return self.wait(response.body["job_id"], timeout=timeout)

@@ -1,0 +1,215 @@
+"""Job table and bounded admission queue of the serving daemon.
+
+A *job* is one unique simulation fingerprint in flight: its id is the
+first 16 hex digits of the run's content address in the disk cache, so
+the same submission — from any client, any time, even across a daemon
+restart — always maps to the same job id.  Duplicate submissions of a
+queued/running fingerprint coalesce onto the existing job instead of
+scheduling a second simulation (the in-flight analogue of the engine's
+batch dedupe).
+
+The pending queue is bounded (``REPRO_QUEUE_MAX``); when it is full the
+admission layer answers 429 with a ``Retry-After`` estimated from the
+current backlog and the observed miss service time.  All mutation
+happens on the daemon's event-loop thread — no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set
+
+from repro.sim.runner import RunRequest
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+
+#: Admission verdicts returned by :meth:`AdmissionQueue.admit`.
+ADMIT_QUEUED = "queued"
+ADMIT_COALESCED = "coalesced"
+ADMIT_QUEUE_FULL = "queue_full"
+
+#: Latency ring-buffer size per traffic class.
+_MAX_SAMPLES = 65536
+
+
+@dataclass
+class Job:
+    """One unique fingerprint moving through the daemon."""
+
+    job_id: str
+    digest: str
+    request: RunRequest
+    key: tuple
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=time.monotonic)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    submissions: int = 1
+    #: Clients holding a quota slot on this job (released on completion).
+    clients: Set[str] = field(default_factory=set)
+    #: Terminal payload: status ok/failed/timeout (+ metrics/failure).
+    result: Optional[dict] = None
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state == DONE
+
+    def describe(self) -> dict:
+        info = {
+            "job_id": self.job_id,
+            "state": self.state,
+            "workload": str(getattr(self.request.workload, "name",
+                                    self.request.workload)),
+            "prefetcher": self.request.prefetcher,
+            "variant": self.request.variant,
+            "n_accesses": self.request.n_accesses,
+            "submissions": self.submissions,
+        }
+        if self.terminal and self.result is not None:
+            info["result"] = self.result
+        return info
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of a sample list (0.0 when empty)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1,
+               max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class AdmissionQueue:
+    """Bounded FIFO of jobs awaiting the engine, plus the job table."""
+
+    def __init__(self, max_depth: int):
+        self.max_depth = max(1, int(max_depth))
+        self.pending: Deque[Job] = deque()
+        self.jobs: Dict[str, Job] = {}
+        self.counters = {
+            "submitted": 0,          # admission attempts (hits included)
+            "cache_hits": 0,
+            "coalesced": 0,
+            "queued": 0,
+            "rejected_queue_full": 0,
+            "rejected_quota": 0,
+            "completed_ok": 0,
+            "completed_failed": 0,
+            "completed_timeout": 0,
+        }
+        self.latencies: Dict[str, List[float]] = {"hit": [], "miss": []}
+
+    # -- admission -----------------------------------------------------
+
+    def depth(self) -> int:
+        return len(self.pending)
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self.jobs.get(job_id)
+
+    def admit(self, job_id: str, digest: str, request: RunRequest,
+              key: tuple) -> tuple:
+        """Admit one cache-miss submission; returns (verdict, job).
+
+        ``coalesced``: the fingerprint is already queued or running —
+        the caller attaches to that job.  ``queued``: a fresh job was
+        appended.  ``queue_full``: the bounded queue rejected it (job
+        is None).
+        """
+        existing = self.jobs.get(job_id)
+        if existing is not None and not existing.terminal:
+            existing.submissions += 1
+            self.counters["coalesced"] += 1
+            return ADMIT_COALESCED, existing
+        if len(self.pending) >= self.max_depth:
+            self.counters["rejected_queue_full"] += 1
+            return ADMIT_QUEUE_FULL, None
+        job = Job(job_id=job_id, digest=digest, request=request, key=key)
+        self.jobs[job_id] = job
+        self.pending.append(job)
+        self.counters["queued"] += 1
+        return ADMIT_QUEUED, job
+
+    def drain(self, limit: Optional[int] = None) -> List[Job]:
+        """Pop up to *limit* pending jobs (all of them by default) and
+        mark them running — the dispatcher's batch claim."""
+        count = len(self.pending) if limit is None else min(
+            limit, len(self.pending))
+        claimed = []
+        for _ in range(count):
+            job = self.pending.popleft()
+            job.state = RUNNING
+            job.started_at = time.monotonic()
+            claimed.append(job)
+        return claimed
+
+    # -- completion ----------------------------------------------------
+
+    def finish(self, job: Job, result: dict) -> None:
+        """Move a job to its terminal state and wake every waiter."""
+        job.result = result
+        job.state = DONE
+        job.finished_at = time.monotonic()
+        status = result.get("status", "failed")
+        counter = f"completed_{status}"
+        self.counters[counter] = self.counters.get(counter, 0) + 1
+        self.record_latency("miss", job.finished_at - job.submitted_at)
+        job.done.set()
+
+    def record_hit(self, seconds: float) -> None:
+        self.counters["cache_hits"] += 1
+        self.record_latency("hit", seconds)
+
+    def record_latency(self, traffic_class: str, seconds: float) -> None:
+        samples = self.latencies[traffic_class]
+        samples.append(seconds)
+        if len(samples) > _MAX_SAMPLES:
+            del samples[:len(samples) - _MAX_SAMPLES]
+
+    # -- observability -------------------------------------------------
+
+    def avg_miss_service_s(self, default: float = 2.0) -> float:
+        samples = self.latencies["miss"]
+        return sum(samples) / len(samples) if samples else default
+
+    def retry_after_s(self) -> int:
+        """Suggested client backoff when the queue rejects: the backlog
+        priced at the observed per-miss service time, clamped sanely."""
+        estimate = (len(self.pending) + 1) * self.avg_miss_service_s()
+        return int(min(120.0, max(1.0, estimate)))
+
+    def orphaned(self) -> List[Job]:
+        """Non-terminal jobs that are neither pending nor running — must
+        always be empty; exposed so tests can assert the invariant."""
+        tracked = {job.job_id for job in self.pending}
+        return [job for job in self.jobs.values()
+                if not job.terminal and job.state == QUEUED
+                and job.job_id not in tracked]
+
+    def snapshot(self) -> dict:
+        requests_seen = self.counters["submitted"]
+        hits = self.counters["cache_hits"]
+        return {
+            "queue_depth": len(self.pending),
+            "max_depth": self.max_depth,
+            "jobs_tracked": len(self.jobs),
+            "running": sum(1 for j in self.jobs.values()
+                           if j.state == RUNNING),
+            "counters": dict(self.counters),
+            "hit_rate": (hits / requests_seen) if requests_seen else 0.0,
+            "service_time_s": {
+                cls: {
+                    "count": len(samples),
+                    "p50": round(percentile(samples, 0.50), 6),
+                    "p99": round(percentile(samples, 0.99), 6),
+                }
+                for cls, samples in self.latencies.items()
+            },
+        }

@@ -1,0 +1,49 @@
+"""Per-client admission quotas for the serving daemon.
+
+A client (the ``X-Client-Id`` header, falling back to the peer address)
+may hold at most ``REPRO_CLIENT_QUOTA`` jobs in flight — queued or
+running — at once; the slot is released when the job reaches a terminal
+state.  Cache hits never consume a slot (they are answered inline
+without touching the engine), and a client coalescing onto a job it
+already holds is idempotent.
+
+All state is mutated only from the daemon's event-loop thread, so no
+locking is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class ClientQuotas:
+    """In-flight job slots per client identity."""
+
+    def __init__(self, limit: int):
+        #: 0 disables quota enforcement entirely.
+        self.limit = max(0, int(limit))
+        self._in_flight: Dict[str, int] = {}
+
+    def in_flight(self, client: str) -> int:
+        return self._in_flight.get(client, 0)
+
+    def try_acquire(self, client: str) -> bool:
+        """Take one slot for *client*; False when the quota is exhausted."""
+        held = self._in_flight.get(client, 0)
+        if self.limit and held >= self.limit:
+            return False
+        self._in_flight[client] = held + 1
+        return True
+
+    def release(self, client: str) -> None:
+        held = self._in_flight.get(client, 0)
+        if held <= 1:
+            self._in_flight.pop(client, None)
+        else:
+            self._in_flight[client] = held - 1
+
+    def total_in_flight(self) -> int:
+        return sum(self._in_flight.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._in_flight)

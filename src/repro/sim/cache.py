@@ -168,8 +168,16 @@ def store(key: tuple, metrics: RunMetrics) -> bool:
     return True
 
 
-def load(key: tuple) -> Optional[RunMetrics]:
-    """Fetch one run from disk; any corruption or mismatch is a miss."""
+def load_payload(key: tuple) -> Optional[dict]:
+    """Fetch one run's *serialized* metrics dict exactly as stored.
+
+    This is the serving layer's hot admission path: returning the raw
+    on-disk dict (instead of a rebuilt ``RunMetrics``) makes a cache-hit
+    response bitwise-identical to the JSON any other reader of the same
+    entry would serialize, with no decode/re-encode in between.  Any
+    corruption or version mismatch is a miss (corrupt entries are
+    quarantined, exactly like :func:`load`).
+    """
     if not cache_enabled():
         return None
     path = entry_path(key)
@@ -178,7 +186,10 @@ def load(key: tuple) -> Optional[RunMetrics]:
         if (payload.get("version") != CACHE_VERSION
                 or payload.get("salt") != _salt()):
             return None
-        return metrics_from_dict(payload["metrics"])
+        metrics = payload["metrics"]
+        if not isinstance(metrics, dict):
+            raise TypeError("metrics payload is not a dict")
+        return metrics
     except FileNotFoundError:
         return None
     except (OSError, ValueError, TypeError, KeyError):
@@ -186,6 +197,18 @@ def load(key: tuple) -> Optional[RunMetrics]:
         # filesystem): quarantine it so the slot heals on the next
         # store while the bad bytes stay auditable.
         _quarantine(path)
+        return None
+
+
+def load(key: tuple) -> Optional[RunMetrics]:
+    """Fetch one run from disk; any corruption or mismatch is a miss."""
+    payload = load_payload(key)
+    if payload is None:
+        return None
+    try:
+        return metrics_from_dict(payload)
+    except (ValueError, TypeError, KeyError):
+        _quarantine(entry_path(key))
         return None
 
 

@@ -175,6 +175,25 @@ def read_header(path: Path) -> Optional[dict]:
     return header
 
 
+def peek(key: tuple) -> Optional[dict]:
+    """Header-only progress probe for one run key (no body unpickle).
+
+    Returns the snapshot's header dict (``access_index``, ``length``,
+    ...) when a current-version snapshot exists, else ``None``.  This is
+    the serving layer's progress path: it costs one small read, never
+    deserializes simulator state, and never quarantines — a torn file
+    simply reads as "no progress yet".
+    """
+    path = snapshot_path(key)
+    header = read_header(path)
+    if (header is None
+            or header.get("version") != SNAPSHOT_VERSION
+            or header.get("salt") != _salt()
+            or not isinstance(header.get("access_index"), int)):
+        return None
+    return header
+
+
 def load(key: tuple) -> Optional[Tuple[int, dict]]:
     """Fetch the latest valid snapshot; return (access_index, state).
 

@@ -111,6 +111,20 @@ class RunFailure:
         return (f"{self.kind}: {self.exc_type}: {self.message} "
                 f"(attempt {self.attempts}{pid})")
 
+    def to_dict(self) -> dict:
+        """JSON-safe view of the failure (``exc_bytes`` is dropped —
+        pickled exceptions don't survive serialization boundaries)."""
+        return {
+            "kind": self.kind,
+            "exc_type": self.exc_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+            "worker_pid": self.worker_pid,
+            "run_index": self.run_index,
+            "permanent": self.permanent,
+        }
+
 
 class RunFailureError(RuntimeError):
     """Raised by strict batches for failures whose original exception

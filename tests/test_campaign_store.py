@@ -230,3 +230,86 @@ class TestStorePath:
         with pytest.raises(ConfigurationError) as excinfo:
             store_path()
         assert "REPRO_CAMPAIGN_DB" in str(excinfo.value)
+
+
+class TestReadOnly:
+    """``read_only=True``: a query-only view of a (possibly live) store."""
+
+    def test_missing_database_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="read-only"):
+            CampaignStore(tmp_path / "absent.sqlite", read_only=True)
+
+    def test_sees_rows_of_a_live_wal_writer(self, store):
+        # The writer stays open (WAL journal active, -wal file on disk)
+        # while the read-only view attaches: committed rows must be
+        # visible mid-sweep without disturbing the writer.
+        campaign = tiny_campaign(n_accesses=1150)
+        cells = store.register(campaign)
+        metrics = simulate_cell(cells[0])
+        store.record(campaign.campaign_id, cells[0], "ok",
+                     metrics=metrics, source="simulated")
+        assert (store.path.parent / (store.path.name + "-wal")).exists()
+
+        with CampaignStore(store.path, read_only=True) as view:
+            assert view.campaigns()[0]["campaign_id"] \
+                == campaign.campaign_id
+            assert view.done_indices(campaign.campaign_id) == {0: "ok"}
+            rows = view.rows(campaign)
+            done = [r for r in rows if r["status"] == "ok"]
+            assert len(done) == 1
+
+        # ... and new commits from the still-open writer are visible to
+        # a read-only view opened afterwards.
+        metrics = simulate_cell(cells[1])
+        store.record(campaign.campaign_id, cells[1], "ok",
+                     metrics=metrics, source="simulated")
+        with CampaignStore(store.path, read_only=True) as view:
+            assert len([r for r in view.rows(campaign)
+                        if r["status"] == "ok"]) == 2
+
+    def test_every_write_method_raises(self, store):
+        campaign = tiny_campaign(n_accesses=1160)
+        cells = store.register(campaign)
+        with CampaignStore(store.path, read_only=True) as view:
+            with pytest.raises(ConfigurationError, match="read-only"):
+                view.register(campaign)
+            with pytest.raises(ConfigurationError, match="read-only"):
+                view.record(campaign.campaign_id, cells[0], "ok")
+            with pytest.raises(ConfigurationError, match="read-only"):
+                view.record_engine_stats(campaign.campaign_id, {})
+            with pytest.raises(ConfigurationError, match="read-only"):
+                view.sync_from_cache(campaign)
+            # Nothing leaked into the store through the view.
+        assert store.done_indices(campaign.campaign_id) == {}
+
+    def test_connection_itself_is_write_protected(self, store):
+        import sqlite3
+
+        store.register(tiny_campaign(n_accesses=1170))
+        with CampaignStore(store.path, read_only=True) as view:
+            with pytest.raises(sqlite3.OperationalError):
+                view._conn.execute(
+                    "INSERT INTO meta (key, value) VALUES ('x', 'y')")
+
+    def test_wal_gap_falls_back_to_query_only_pragma(self, store,
+                                                     monkeypatch):
+        # Simulate SQLITE_READONLY_CANTINIT: the mode=ro URI connect
+        # fails, and the store must fall back to an ordinary connection
+        # hardened with PRAGMA query_only=ON.
+        import sqlite3
+
+        store.register(tiny_campaign(n_accesses=1180))
+        real_connect = sqlite3.connect
+
+        def flaky_connect(target, *args, **kwargs):
+            if kwargs.get("uri"):
+                raise sqlite3.OperationalError(
+                    "unable to open database file")
+            return real_connect(target, *args, **kwargs)
+
+        monkeypatch.setattr(sqlite3, "connect", flaky_connect)
+        with CampaignStore(store.path, read_only=True) as view:
+            assert len(view.campaigns()) == 1
+            with pytest.raises(sqlite3.OperationalError):
+                view._conn.execute(
+                    "INSERT INTO meta (key, value) VALUES ('x', 'y')")

@@ -324,6 +324,41 @@ class TestCampaign:
                      "--worker-id", "not ok"]) == 2
         assert "worker id" in capsys.readouterr().err
 
+    def test_read_only_status_query_export(self, spec, tmp_path, capsys):
+        """``--read-only`` serves status/query/export against a store
+        another process owns, without registering or syncing into it."""
+        assert main(["campaign", "run", "--spec", spec,
+                     "--jobs", "1"]) == 0
+        capsys.readouterr()
+
+        assert main(["campaign", "status", "--spec", spec,
+                     "--read-only"]) == 0
+        assert "complete" in capsys.readouterr().out
+
+        assert main(["campaign", "query", "--spec", spec,
+                     "--read-only", "--where", "workload=milc"]) == 0
+        out = capsys.readouterr().out
+        assert "milc" in out and "2 cell(s)" in out
+
+        export = tmp_path / "ro.csv"
+        assert main(["campaign", "export", "--spec", spec,
+                     "--read-only", "--format", "csv",
+                     "--out", str(export)]) == 0
+        assert export.read_text().count("\n") == 5
+
+    def test_read_only_without_database_exits_2(self, tmp_path,
+                                                monkeypatch, capsys):
+        path = tmp_path / "spec.json"
+        assert main(["campaign", "new", "--name", "ro-t",
+                     "--spec", str(path),
+                     "--axis", "workload=lbm"]) == 0
+        monkeypatch.setenv("REPRO_CAMPAIGN_DB",
+                           str(tmp_path / "never-created.sqlite"))
+        capsys.readouterr()
+        assert main(["campaign", "status", "--spec", str(path),
+                     "--read-only"]) == 2
+        assert "read-only" in capsys.readouterr().err
+
 
 class TestReport:
     def test_report_concatenates_results(self, tmp_path, capsys):

@@ -7,6 +7,7 @@ import pytest
 
 from repro.campaign import store as campaign_store
 from repro.campaign import worker as campaign_worker
+from repro.serve import app as serve_app
 from repro.sim import runner, snapshot, supervisor
 from repro.sim.config import ConfigurationError, env_float, env_int, env_str
 
@@ -157,3 +158,46 @@ class TestCampaignKnobs:
         with pytest.raises(ConfigurationError) as excinfo:
             campaign_store.store_path()
         assert "REPRO_CAMPAIGN_DB" in str(excinfo.value)
+
+
+class TestServeKnobs:
+    """The serving daemon's knobs go through the same machinery."""
+
+    @pytest.mark.parametrize("var,call", [
+        ("REPRO_SERVE_PORT", serve_app.serve_port),
+        ("REPRO_QUEUE_MAX", serve_app.queue_max),
+        ("REPRO_CLIENT_QUOTA", serve_app.client_quota),
+    ])
+    def test_garbage_raises_configuration_error(self, monkeypatch, var,
+                                                call):
+        monkeypatch.setenv(var, "many")
+        with pytest.raises(ConfigurationError) as excinfo:
+            call()
+        assert var in str(excinfo.value)
+        assert "many" in str(excinfo.value)
+
+    def test_bounds(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_PORT", "-1")
+        with pytest.raises(ConfigurationError):
+            serve_app.serve_port()           # 0 (ephemeral) is the floor
+        monkeypatch.setenv("REPRO_QUEUE_MAX", "0")
+        with pytest.raises(ConfigurationError):
+            serve_app.queue_max()            # a queue needs >= 1 slot
+        monkeypatch.setenv("REPRO_CLIENT_QUOTA", "-2")
+        with pytest.raises(ConfigurationError):
+            serve_app.client_quota()         # 0 = unlimited is the floor
+
+    def test_defaults_and_values(self, monkeypatch):
+        for var in ("REPRO_SERVE_HOST", "REPRO_SERVE_PORT",
+                    "REPRO_QUEUE_MAX", "REPRO_CLIENT_QUOTA"):
+            monkeypatch.delenv(var, raising=False)
+        assert serve_app.serve_host() == "127.0.0.1"
+        assert serve_app.serve_port() == serve_app.DEFAULT_PORT
+        assert serve_app.queue_max() == serve_app.DEFAULT_QUEUE_MAX
+        assert serve_app.client_quota() == serve_app.DEFAULT_CLIENT_QUOTA
+        monkeypatch.setenv("REPRO_SERVE_PORT", "0")
+        monkeypatch.setenv("REPRO_QUEUE_MAX", "8")
+        monkeypatch.setenv("REPRO_CLIENT_QUOTA", "0")
+        assert serve_app.serve_port() == 0
+        assert serve_app.queue_max() == 8
+        assert serve_app.client_quota() == 0
