@@ -1,0 +1,360 @@
+#!/usr/bin/env python3
+"""Disabled-overhead benchmark of the IO fault-injection shim.
+
+Every durable write/read in the storage layer now routes through
+``repro.sim.iofaults`` so chaos tests can inject ENOSPC/torn/EIO at
+any step.  The shim's contract is that when no plan is armed each hook
+is a single ``None`` check in front of the real ``os`` call — this
+benchmark prices that claim and *asserts* it.
+
+Two arms measured as time-adjacent pairs (median of paired relative
+differences — drift cancels within a pair, the median discards
+outlier rounds):
+
+- **hooked** — ``cache.store`` + ``cache.load_payload`` as shipped,
+  shim present but disarmed.
+- **raw** — a local twin of the exact same store/load sequence (temp
+  file, write, flush, fsync, atomic rename, directory fsync; read,
+  parse, validate) calling ``os`` directly with no hook in sight.
+
+The acceptance bar: hooked is within **2%** of raw.  Both arms are
+fsync-bound, which is the point — the shim adds nanoseconds to ops
+that cost milliseconds.  A third phase prices a disarmed
+:func:`iofaults.check` call in isolation (ns/op).
+
+Emits ``BENCH_iofaults.json`` at the repo root.
+
+Usage::
+
+    python benchmarks/bench_iofaults.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.sim import cache as disk_cache  # noqa: E402
+from repro.sim import iofaults, runner  # noqa: E402
+from repro.sim.runner import RunRequest, run_batch  # noqa: E402
+
+RESULTS_PATH = REPO_ROOT / "BENCH_iofaults.json"
+
+ROUNDS = 15
+OPS_PER_ROUND = 1000
+CHECK_CALLS = 1_000_000
+
+
+def bench_tmpdir_base():
+    """Prefer tmpfs: the benchmark prices the *shim*, and rotating-disk
+    fsync jitter (tens of ms) would drown the nanoseconds under test."""
+    return "/dev/shm" if os.path.isdir("/dev/shm") else None
+
+
+# ----------------------------------------------------------------------
+# The raw twin: cache.store / cache.load_payload with direct os calls
+# ----------------------------------------------------------------------
+
+def raw_store(key: tuple, metrics) -> bool:
+    """``cache.store`` minus the shim: identical durability sequence."""
+    if not disk_cache.cache_enabled():
+        return False
+    path = disk_cache.entry_path(key)
+    payload = {
+        "version": disk_cache.CACHE_VERSION,
+        "salt": disk_cache._salt(),
+        "key": repr(key),
+        "metrics": disk_cache.metrics_to_dict(metrics),
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        os.close(fd)
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(json.dumps(payload).encode())
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            dir_fd = os.open(path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            except OSError:
+                pass
+            finally:
+                os.close(dir_fd)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return False
+    return True
+
+
+def raw_load_payload(key: tuple):
+    """``cache.load_payload`` minus the shim: identical validation."""
+    if not disk_cache.cache_enabled():
+        return None
+    path = disk_cache.entry_path(key)
+    try:
+        payload = json.loads(path.read_bytes())
+        if (payload.get("version") != disk_cache.CACHE_VERSION
+                or payload.get("salt") != disk_cache._salt()):
+            return None
+        metrics = payload["metrics"]
+        if not isinstance(metrics, dict):
+            raise TypeError("metrics payload is not a dict")
+        return metrics
+    except (OSError, ValueError, TypeError, KeyError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# Phases
+# ----------------------------------------------------------------------
+
+def _time_arm(store_fn, load_fn, metrics, universe: Path,
+              ops: int) -> float:
+    """Time one fixed-key overwrite pass in a prewarmed universe."""
+    os.environ["REPRO_CACHE_DIR"] = str(universe)
+    begin = time.perf_counter()
+    for op in range(ops):
+        key = ("bench-iofaults", op)
+        assert store_fn(key, metrics)
+        assert load_fn(key) is not None
+    return time.perf_counter() - begin
+
+
+def _median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def phase_store_load(metrics, base: Path) -> dict:
+    """Median of time-adjacent paired differences.
+
+    Every round is a fixed-key overwrite pass over a *prewarmed*
+    universe (no mkdir/fan-out cost in the loop, stable file counts),
+    and each hooked measurement is paired with a raw one milliseconds
+    away — CPU-frequency and background drift cancel inside the pair,
+    the median shrugs off outlier rounds, and alternating order inside
+    the pair cancels any first-runner bias."""
+    arms = {
+        "hooked": (disk_cache.store, disk_cache.load_payload,
+                   base / "hooked"),
+        "raw": (raw_store, raw_load_payload, base / "raw"),
+    }
+    for store_fn, load_fn, universe in arms.values():   # warm, untimed
+        _time_arm(store_fn, load_fn, metrics, universe, OPS_PER_ROUND)
+
+    pairs = []
+    for round_no in range(ROUNDS):
+        order = ["hooked", "raw"] if round_no % 2 == 0 \
+            else ["raw", "hooked"]
+        sample = {}
+        for tag in order:
+            store_fn, load_fn, universe = arms[tag]
+            sample[tag] = _time_arm(store_fn, load_fn, metrics,
+                                    universe, OPS_PER_ROUND)
+        pairs.append((sample["hooked"], sample["raw"]))
+
+    overhead_pct = _median([(h - w) / w * 100.0 for h, w in pairs])
+    best_hooked = min(h for h, _ in pairs)
+    best_raw = min(w for _, w in pairs)
+    data = {
+        "ops_per_round": OPS_PER_ROUND,
+        "rounds": ROUNDS,
+        "hooked_best_s": round(best_hooked, 6),
+        "raw_best_s": round(best_raw, 6),
+        "hooked_us_per_op": round(best_hooked / OPS_PER_ROUND * 1e6, 2),
+        "raw_us_per_op": round(best_raw / OPS_PER_ROUND * 1e6, 2),
+        "wallclock_overhead_pct": round(overhead_pct, 3),
+    }
+    print(f"  store+load  hooked {data['hooked_us_per_op']:9.2f} us/op"
+          f"  raw {data['raw_us_per_op']:9.2f} us/op"
+          f"  wall-clock delta {data['wallclock_overhead_pct']:+.3f}% "
+          f"(context only)", flush=True)
+    return data
+
+
+def phase_disarmed_check() -> dict:
+    begin = time.perf_counter()
+    for _ in range(CHECK_CALLS):
+        iofaults.check("bench.noop")
+    elapsed = time.perf_counter() - begin
+    data = {
+        "calls": CHECK_CALLS,
+        "seconds": round(elapsed, 4),
+        "ns_per_call": round(elapsed / CHECK_CALLS * 1e9, 1),
+    }
+    print(f"  check()     {data['ns_per_call']:9.1f} ns/call disarmed "
+          f"({CHECK_CALLS} calls in {data['seconds']}s)", flush=True)
+    return data
+
+
+def _paired_ns(hooked_fn, raw_fn, iters: int = 20000,
+               rounds: int = 9) -> float:
+    """Median paired difference (hooked - raw) per call, in ns.
+
+    Both closures do the same underlying work; interleaving the two
+    tight loops back-to-back makes the subtraction stable to tens of
+    ns even when absolute wall time drifts by percents."""
+    diffs = []
+    for round_no in range(rounds):
+        samples = {}
+        order = [("hooked", hooked_fn), ("raw", raw_fn)]
+        if round_no % 2:
+            order.reverse()
+        for tag, fn in order:
+            begin = time.perf_counter()
+            for _ in range(iters):
+                fn()
+            samples[tag] = time.perf_counter() - begin
+        diffs.append((samples["hooked"] - samples["raw"])
+                     / iters * 1e9)
+    return _median(diffs)
+
+
+def phase_hook_tax(base: Path) -> dict:
+    """Price each disarmed hook crossing against its raw twin.
+
+    One ``cache.store`` + ``load_payload`` op crosses the shim five
+    times (write, fsync, rename, dirsync, read).  Summing the paired
+    per-crossing dispatch costs gives the total tax the disabled shim
+    adds to one op — measurable to tens of ns where a wall-clock A/B
+    of the full fsync-bound op cannot resolve below several percent."""
+    scratch = base / "hook-tax"
+    scratch.mkdir(parents=True, exist_ok=True)
+    data_file = scratch / "target.bin"
+    data_file.write_bytes(b"x" * 4096)
+    payload = b"y" * 4096
+
+    taxes = {}
+    with open(data_file, "ab") as handle:
+        taxes["write_ns"] = _paired_ns(
+            lambda: iofaults.write("bench.write", _SINK, payload),
+            lambda: _SINK.write(payload))
+        def _raw_fsync():
+            handle.flush()
+            os.fsync(handle.fileno())
+
+        taxes["fsync_ns"] = _paired_ns(
+            lambda: iofaults.fsync("bench.fsync", handle),
+            _raw_fsync, iters=2000)
+    taxes["rename_ns"] = _paired_ns(
+        lambda: iofaults.replace("bench.rename", data_file, data_file),
+        lambda: os.replace(data_file, data_file),
+        iters=5000)
+    taxes["dirsync_ns"] = _paired_ns(
+        lambda: iofaults.fsync_dir("bench.dirsync", scratch),
+        lambda: _raw_dirsync(scratch),
+        iters=2000)
+    taxes["read_ns"] = _paired_ns(
+        lambda: iofaults.read_bytes("bench.read", data_file),
+        lambda: data_file.read_bytes(),
+        iters=5000)
+    total = sum(max(0.0, tax) for tax in taxes.values())
+    data = {tag: round(tax, 1) for tag, tax in taxes.items()}
+    data["total_ns_per_store_load_op"] = round(total, 1)
+    print("  hook tax    " + "  ".join(
+        f"{tag.split('_ns')[0]} {tax:+.0f}ns"
+        for tag, tax in taxes.items())
+        + f"  => {total:.0f}ns/op", flush=True)
+    return data
+
+
+class _NullSink:
+    """A write target with no syscall under it: isolates dispatch."""
+
+    def write(self, data):
+        return len(data)
+
+
+_SINK = _NullSink()
+
+
+def _raw_dirsync(path) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(dir=bench_tmpdir_base()) \
+            as cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+        os.environ.pop(iofaults.ENV_VAR, None)
+        iofaults.disarm()
+        runner.clear_cache()
+        metrics = run_batch(
+            [RunRequest("lbm", "spp", "psa", n_accesses=600)],
+            use_cache=False)[0]
+        print("iofaults disabled-overhead benchmark "
+              f"({ROUNDS} rounds x {OPS_PER_ROUND} store+load ops, "
+              f"paired + per-hook tax)", flush=True)
+        phases = {
+            "store_load": phase_store_load(metrics, Path(cache_dir)),
+            "hook_tax": phase_hook_tax(Path(cache_dir)),
+            "disarmed_check": phase_disarmed_check(),
+        }
+
+    # The asserted number: the summed per-crossing tax (measurable to
+    # tens of ns) relative to the measured cost of one hooked op.  The
+    # wall-clock A/B in 'store_load' is reported for context but not
+    # asserted — machine drift on fsync-bound loops is several percent,
+    # far above the signal.
+    tax_us = phases["hook_tax"]["total_ns_per_store_load_op"] / 1000.0
+    op_us = phases["store_load"]["hooked_us_per_op"]
+    overhead = round(tax_us / op_us * 100.0, 3)
+    payload = {
+        "benchmark": "bench_iofaults",
+        "machine": {"cores": os.cpu_count(),
+                    "platform": f"{platform.system()} "
+                                f"{platform.machine()}",
+                    "python": platform.python_version()},
+        "phases": phases,
+        "disabled_overhead_pct": overhead,
+        "note": (
+            "'store_load' is a wall-clock A/B of the shipped (hooked, "
+            "disarmed) cache store+load path against a raw twin with "
+            "the identical fsync-rename-dirsync durability sequence "
+            "(median of time-adjacent paired rounds; context only — "
+            "its noise floor is several percent).  'hook_tax' prices "
+            "each of the five disarmed hook crossings of one op "
+            "against its raw twin in paired tight loops, stable to "
+            "tens of ns; disabled_overhead_pct = total tax / hooked "
+            "op cost, and <= 2 is the acceptance bar: an unset "
+            "REPRO_IO_FAULTS must be free.  'disarmed_check' prices "
+            "one bare disarmed hook call."),
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\narchived to {RESULTS_PATH}")
+    assert overhead <= 2.0, \
+        f"disarmed shim overhead {overhead:.3f}% exceeds the 2% bar"
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

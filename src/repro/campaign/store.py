@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.sim import cache as disk_cache
+from repro.sim import iofaults
 from repro.sim.config import ConfigurationError
 from repro.sim.metrics import RunMetrics
 from repro.campaign.grid import Campaign, CampaignCell, CampaignSpecError
@@ -155,6 +156,7 @@ class CampaignStore:
                     f"(read-only mode never creates one)")
             self._conn = self._connect_read_only()
             return
+        iofaults.check("store.open")
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(str(self.path), timeout=30.0)
         self._conn.execute("PRAGMA journal_mode=WAL")
@@ -198,6 +200,7 @@ class CampaignStore:
     def register(self, campaign: Campaign) -> List[CampaignCell]:
         """Idempotently record the campaign identity and its cell grid."""
         self._guard_write("register a campaign")
+        iofaults.check("store.commit")
         cells = campaign.cells()
         with self._conn:
             self._conn.execute(
@@ -231,6 +234,7 @@ class CampaignStore:
                wall_time_s: float = 0.0) -> None:
         """Record one cell outcome; an ``ok`` row is never downgraded."""
         self._guard_write("record a result")
+        iofaults.check("store.commit")
         metrics_json = (json.dumps(disk_cache.metrics_to_dict(metrics),
                                    sort_keys=True)
                         if metrics is not None else None)
@@ -253,6 +257,7 @@ class CampaignStore:
     def record_engine_stats(self, campaign_id: str,
                             stats: Mapping[str, object]) -> None:
         self._guard_write("record engine stats")
+        iofaults.check("store.commit")
         with self._conn:
             self._conn.execute(
                 "INSERT INTO engine_stats "

@@ -32,12 +32,14 @@ import json
 import os
 import re
 import socket
+import sqlite3
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Tuple
 
 from repro.sim import cache as disk_cache
+from repro.sim import iofaults
 from repro.sim.config import ConfigurationError, env_float, env_str
 from repro.sim.runner import engine_stats, run_batch
 from repro.campaign.grid import Campaign, CampaignCell
@@ -93,6 +95,7 @@ def try_claim(path: Path, worker: str) -> bool:
                           "host": socket.gethostname(),
                           "claimed_at": time.time()})
     try:
+        iofaults.check("lease.write")
         fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
     except FileExistsError:
         return False
@@ -115,6 +118,7 @@ def release(path: Path) -> None:
 def lease_age_s(path: Path) -> Optional[float]:
     """Seconds since the lease was written, or None when absent."""
     try:
+        iofaults.check("lease.read")
         return max(0.0, time.time() - path.stat().st_mtime)
     except OSError:
         return None
@@ -162,6 +166,7 @@ class WorkerReport:
     synced: int = 0            # claims resolved from the disk cache
     failed: int = 0            # cells that failed under this worker
     reclaimed: int = 0         # stale leases it freed
+    store_errors: int = 0      # store writes absorbed (repaired by sync)
     waited_s: float = 0.0      # time spent waiting on peers' leases
     wall_s: float = 0.0
     failures: List[Tuple[str, str]] = field(default_factory=list)
@@ -173,6 +178,9 @@ class WorkerReport:
                 f"reclaimed in {self.wall_s:.2f}s")
         if self.waited_s:
             line += f" ({self.waited_s:.2f}s waiting on peers)"
+        if self.store_errors:
+            line += (f" [{self.store_errors} store writes failed; "
+                     f"run sync/doctor to repair]")
         return line
 
     def to_dict(self) -> dict:
@@ -180,9 +188,25 @@ class WorkerReport:
                 "claimed": self.claimed, "simulated": self.simulated,
                 "synced": self.synced, "failed": self.failed,
                 "reclaimed": self.reclaimed,
+                "store_errors": self.store_errors,
                 "waited_s": round(self.waited_s, 3),
                 "wall_s": round(self.wall_s, 3),
                 "failures": list(self.failures)}
+
+
+def _store_call(report: WorkerReport, fn, *args, **kwargs):
+    """One store interaction, absorbing (injected or real) IO failure.
+
+    The content-addressed disk cache is the ground truth; a failed
+    sqlite write only delays the row until the next ``sync_from_cache``
+    (or ``repro doctor --repair``) against a healthy store.  Returns
+    the call's result, or None when it was absorbed.
+    """
+    try:
+        return fn(*args, **kwargs)
+    except (OSError, sqlite3.OperationalError):
+        report.store_errors += 1
+        return None
 
 
 def run_worker(campaign: Campaign,
@@ -212,14 +236,22 @@ def run_worker(campaign: Campaign,
     #: later passes so a permanently broken cell cannot livelock the
     #: pull loop (the failure row stays for run_missing to retry).
     local_failures = set()
+    #: Cells this worker knows are in the disk cache but could not
+    #: record (store write absorbed): skipped so a permanently failing
+    #: store cannot livelock the loop — the rows land on the next
+    #: healthy sync.
+    local_done = set()
     try:
-        cells = store.register(campaign)
+        cells = _store_call(report, store.register, campaign)
+        if cells is None:
+            cells = campaign.cells()
         while True:
             if max_cells is not None and report.claimed >= max_cells:
                 break
-            store.sync_from_cache(campaign, cells)
+            _store_call(report, store.sync_from_cache, campaign, cells)
             missing = [cell for cell in store.missing(campaign, cells)
-                       if cell.index not in local_failures]
+                       if cell.index not in local_failures
+                       and cell.index not in local_done]
             if not missing:
                 break
             progressed = False
@@ -239,7 +271,8 @@ def run_worker(campaign: Campaign,
                 try:
                     _run_cell(campaign, cell, store, report,
                               timeout=timeout, retries=retries,
-                              local_failures=local_failures)
+                              local_failures=local_failures,
+                              local_done=local_done)
                 finally:
                     release(path)
             if progressed:
@@ -250,8 +283,8 @@ def run_worker(campaign: Campaign,
             wait_start = time.perf_counter()
             time.sleep(poll_s)
             report.waited_s += time.perf_counter() - wait_start
-        store.record_engine_stats(campaign.campaign_id,
-                                  engine_stats().to_dict())
+        _store_call(report, store.record_engine_stats,
+                    campaign.campaign_id, engine_stats().to_dict())
         report.wall_s = time.perf_counter() - start
         return report
     finally:
@@ -262,28 +295,31 @@ def run_worker(campaign: Campaign,
 def _run_cell(campaign: Campaign, cell: CampaignCell,
               store: CampaignStore, report: WorkerReport,
               timeout: Optional[float], retries: Optional[int],
-              local_failures: set) -> None:
+              local_failures: set, local_done: set) -> None:
     """Execute one claimed cell and publish its outcome."""
     # A peer may have finished this cell between our sync and our
     # claim; the content-addressed cache is the authority.
     cached = disk_cache.load(cell.key)
     if cached is not None:
-        store.record(campaign.campaign_id, cell, "ok", metrics=cached,
-                     source="disk", wall_time_s=cached.wall_time_s)
+        local_done.add(cell.index)
+        _store_call(report, store.record, campaign.campaign_id, cell,
+                    "ok", metrics=cached, source="disk",
+                    wall_time_s=cached.wall_time_s)
         report.synced += 1
         return
     batch = run_batch([cell.request], jobs=1, strict=False,
                       fail_fast=False, timeout=timeout, retries=retries)
     outcome = batch.outcomes[0]
     if outcome.ok:
-        store.record(campaign.campaign_id, cell, "ok",
-                     metrics=outcome.metrics, attempts=outcome.attempts,
-                     source=outcome.source,
-                     wall_time_s=outcome.metrics.wall_time_s)
+        local_done.add(cell.index)
+        _store_call(report, store.record, campaign.campaign_id, cell,
+                    "ok", metrics=outcome.metrics,
+                    attempts=outcome.attempts, source=outcome.source,
+                    wall_time_s=outcome.metrics.wall_time_s)
         report.simulated += 1
     else:
-        store.record(campaign.campaign_id, cell, outcome.status,
-                     attempts=outcome.attempts)
+        _store_call(report, store.record, campaign.campaign_id, cell,
+                    outcome.status, attempts=outcome.attempts)
         report.failed += 1
         local_failures.add(cell.index)
         reason = (outcome.failure.describe()

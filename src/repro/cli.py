@@ -51,6 +51,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.report import format_table
@@ -227,7 +228,7 @@ def cmd_cache(args) -> int:
     if args.action == "verify":
         report = disk_cache.verify(prune=args.prune)
         print(report.describe())
-        return 1 if (report.corrupt or report.stale) and not args.prune else 0
+        return 1 if report.findings and not args.prune else 0
     # clear
     removed = disk_cache.clear()
     print(f"removed {removed} cache entries from {disk_cache.cache_dir()}")
@@ -260,6 +261,28 @@ def cmd_snapshot(args) -> int:
     print(f"removed {removed} {scope} snapshot(s) from "
           f"{snapshot_store.snapshot_dir()}")
     return 0
+
+
+def cmd_doctor(args) -> int:
+    import json as json_mod
+
+    from repro.sim import doctor
+
+    if args.dir:
+        os.environ["REPRO_CACHE_DIR"] = args.dir
+    report = doctor.diagnose(repair=args.repair,
+                             lease_ttl_s=args.lease_ttl,
+                             tmp_age_s=args.tmp_age)
+    if args.json:
+        print(json_mod.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.describe())
+    if args.out:
+        Path(args.out).write_text(
+            json_mod.dumps(report.to_dict(), indent=2) + "\n")
+    # Exit 0 when nothing is (left) wrong; 1 when findings remain
+    # unrepaired so cron/CI wrappers can alert.
+    return 0 if report.healthy else 1
 
 
 def _campaign_from(args):
@@ -414,7 +437,8 @@ def cmd_serve(args) -> int:
         format="%(asctime)s %(name)s %(message)s")
     app = ServeApp(host=args.host, port=args.port,
                    queue_depth=args.queue_max, quota=args.quota,
-                   engine_jobs=args.jobs)
+                   engine_jobs=args.jobs,
+                   heal_on_start=not args.no_doctor)
     return app.run()
 
 
@@ -663,6 +687,29 @@ def build_parser() -> argparse.ArgumentParser:
                              "stale-version ones")
     p_snap.set_defaults(func=cmd_snapshot)
 
+    p_doc = sub.add_parser(
+        "doctor",
+        help="scan (and --repair) the whole durable state: cache, "
+             "snapshots, campaign store, leases")
+    p_doc.add_argument("--repair", action="store_true",
+                       help="heal what has a safe fix (quarantine "
+                            "corrupt entries, sweep orphans, sync the "
+                            "store from the cache, free stale leases)")
+    p_doc.add_argument("--json", action="store_true",
+                       help="emit the DoctorReport as JSON")
+    p_doc.add_argument("--out", default=None,
+                       help="also write the JSON report to this file")
+    p_doc.add_argument("--dir", default=None,
+                       help="cache directory (default: REPRO_CACHE_DIR "
+                            "or ~/.cache/repro)")
+    p_doc.add_argument("--lease-ttl", type=float, default=300.0,
+                       help="age in seconds past which a claim lease "
+                            "is stale (default 300)")
+    p_doc.add_argument("--tmp-age", type=float, default=60.0,
+                       help="age in seconds past which a writer temp "
+                            "file is an orphan (default 60)")
+    p_doc.set_defaults(func=cmd_doctor)
+
     p_camp = sub.add_parser(
         "campaign",
         help="declarative parameter sweeps with a queryable store")
@@ -779,6 +826,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--jobs", type=int, default=None,
                          help="engine worker processes per batch "
                               "(default: REPRO_JOBS or all cores)")
+    p_serve.add_argument("--no-doctor", action="store_true",
+                         help="skip the startup doctor --repair pass "
+                              "over the durable state")
     p_serve.add_argument("--log-level", default="info",
                          choices=["debug", "info", "warning", "error"])
     p_serve.set_defaults(func=cmd_serve)

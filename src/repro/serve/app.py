@@ -107,9 +107,12 @@ class ServeApp:
                  queue_depth: Optional[int] = None,
                  quota: Optional[int] = None,
                  engine_jobs: Optional[int] = None,
-                 batch_linger_s: float = 0.05):
+                 batch_linger_s: float = 0.05,
+                 heal_on_start: bool = True):
         self.host = host if host is not None else serve_host()
         self.port = port if port is not None else serve_port()
+        self.heal_on_start = heal_on_start
+        self.doctor_report = None     # DoctorReport from startup healing
         self.queue = AdmissionQueue(
             queue_depth if queue_depth is not None else queue_max())
         self.quotas = ClientQuotas(
@@ -132,6 +135,21 @@ class ServeApp:
     # -- lifecycle -----------------------------------------------------
 
     async def start(self) -> None:
+        # Heal before binding: a daemon restarted onto a damaged cache
+        # (torn entries from its own SIGKILL, stale leases, a diverged
+        # store) must not admit traffic until the durable state is
+        # trustworthy again — a corrupt entry served as a "hit" is the
+        # one failure mode this layer can never have.
+        if self.heal_on_start:
+            from repro.sim import doctor
+
+            report = doctor.diagnose(repair=True)
+            self.doctor_report = report
+            LOG.info("startup heal: %s", report.summary())
+            if not report.healthy:
+                for finding in report.findings:
+                    if not finding.repaired:
+                        LOG.warning("unrepaired: %s", finding.describe())
         self._loop = asyncio.get_event_loop()
         self._wake = asyncio.Event()
         self._closed = asyncio.Event()

@@ -8,6 +8,18 @@ Every method returns a :class:`Response` carrying the raw HTTP status
 and the parsed JSON body — tests assert on status codes directly
 (200 hit, 202 queued, 400 bad request, 404 unknown job, 429
 backpressure/quota).
+
+**Resilience.**  Transport failures (connection refused mid-restart,
+reset sockets) are retried with exponentially backed-off, deterministic
+jitter under a bounded budget (:class:`RetryPolicy`,
+``REPRO_CLIENT_RETRIES`` / ``REPRO_CLIENT_BACKOFF``), behind a simple
+open/half-open circuit breaker so a dead daemon fails fast instead of
+saturating its listen queue.  Protocol-level responses are *never*
+retried at this layer — a 429 is returned to the caller verbatim —
+but :meth:`ServeClient.submit_and_wait` honours 429 ``Retry-After``
+and survives daemon restarts: a job id the new daemon has never heard
+of (404 ``unknown_job``) is resubmitted, and completed work re-serves
+as a cache hit.
 """
 
 from __future__ import annotations
@@ -15,12 +27,93 @@ from __future__ import annotations
 import http.client
 import json
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
+
+from repro.sim.config import env_float, env_int
 
 
 class ServeClientError(RuntimeError):
     """The daemon could not be reached or answered garbage."""
+
+
+def client_retries() -> int:
+    """Transport retry budget per request (``REPRO_CLIENT_RETRIES``)."""
+    return env_int("REPRO_CLIENT_RETRIES", 4, minimum=0)
+
+
+def client_backoff() -> float:
+    """Base backoff seconds between transport retries
+    (``REPRO_CLIENT_BACKOFF``)."""
+    return env_float("REPRO_CLIENT_BACKOFF", 0.1, minimum=0.0)
+
+
+@dataclass
+class RetryPolicy:
+    """How hard one client tries before declaring the daemon gone.
+
+    ``retries`` transport attempts are added after the first failure,
+    spaced ``backoff_s * 2**attempt`` apart (capped at
+    ``max_backoff_s``) plus a deterministic crc32 jitter so N clients
+    restarted together do not reconnect in lockstep.  After
+    ``breaker_threshold`` *consecutive* transport failures the breaker
+    opens: calls fail immediately for ``breaker_cooldown_s``, then one
+    half-open probe is let through — success closes the breaker,
+    failure re-opens it.
+    """
+
+    retries: int = field(default_factory=client_retries)
+    backoff_s: float = field(default_factory=client_backoff)
+    max_backoff_s: float = 5.0
+    breaker_threshold: int = 8
+    breaker_cooldown_s: float = 1.0
+
+    def delay_s(self, attempt: int, token: str = "") -> float:
+        """Backoff before retry *attempt* (0-based), with jitter."""
+        jitter = zlib.crc32(f"{token}:{attempt}".encode()) % 1024 / 1024
+        base = min(self.backoff_s * (2 ** attempt), self.max_backoff_s)
+        return base * (1.0 + jitter)
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker: closed -> open -> half-open."""
+
+    def __init__(self, threshold: int, cooldown_s: float):
+        self.threshold = max(1, threshold)
+        self.cooldown_s = cooldown_s
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        if self.opened_at is None:
+            return "closed"
+        if time.monotonic() - self.opened_at >= self.cooldown_s:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        """May a request go out right now?  (half-open admits one probe)"""
+        state = self.state
+        if state == "closed":
+            return True
+        if state == "half-open" and not self._probing:
+            self._probing = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        self._probing = False
+        if self.failures >= self.threshold:
+            self.opened_at = time.monotonic()
 
 
 @dataclass
@@ -45,11 +138,16 @@ class ServeClient:
     """Talks to one daemon; ``client_id`` scopes the server-side quota."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8787,
-                 client_id: Optional[str] = None, timeout: float = 60.0):
+                 client_id: Optional[str] = None, timeout: float = 60.0,
+                 policy: Optional[RetryPolicy] = None):
         self.host = host
         self.port = port
         self.client_id = client_id
         self.timeout = timeout
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.breaker = CircuitBreaker(self.policy.breaker_threshold,
+                                      self.policy.breaker_cooldown_s)
+        self.transport_retries = 0   # observability: retries performed
 
     # -- plumbing ------------------------------------------------------
 
@@ -60,8 +158,8 @@ class ServeClient:
             headers["X-Client-Id"] = self.client_id
         return headers
 
-    def _request(self, method: str, path: str,
-                 payload: Optional[dict] = None) -> Response:
+    def _request_once(self, method: str, path: str,
+                      payload: Optional[dict] = None) -> Response:
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout)
         try:
@@ -79,12 +177,43 @@ class ServeClient:
                     f"({data[:120]!r})") from exc
             return Response(status=raw.status, body=parsed,
                             headers=headers)
-        except (OSError, http.client.HTTPException) as exc:
-            raise ServeClientError(
-                f"{method} {path} against "
-                f"{self.host}:{self.port} failed: {exc}") from exc
         finally:
             conn.close()
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> Response:
+        """One request with transport-level retries.
+
+        Only connection failures (refused/reset/timeout — the daemon
+        restarting underneath us) are retried; any HTTP response,
+        including 4xx/5xx, is returned to the caller untouched.  A
+        non-JSON body is a protocol error, not a transport one, and is
+        never retried.
+        """
+        attempt = 0
+        while True:
+            if not self.breaker.allow():
+                raise ServeClientError(
+                    f"{method} {path} against {self.host}:{self.port}: "
+                    f"circuit open after "
+                    f"{self.breaker.failures} consecutive transport "
+                    f"failures (cooling down)")
+            try:
+                response = self._request_once(method, path, payload)
+                self.breaker.record_success()
+                return response
+            except ServeClientError:
+                raise                       # protocol error: no retry
+            except (OSError, http.client.HTTPException) as exc:
+                self.breaker.record_failure()
+                if attempt >= self.policy.retries:
+                    raise ServeClientError(
+                        f"{method} {path} against "
+                        f"{self.host}:{self.port} failed after "
+                        f"{attempt + 1} attempt(s): {exc}") from exc
+                time.sleep(self.policy.delay_s(attempt, token=path))
+                self.transport_retries += 1
+                attempt += 1
 
     # -- endpoints -----------------------------------------------------
 
@@ -165,8 +294,64 @@ class ServeClient:
     def submit_and_wait(self, request: dict,
                         timeout: float = 300.0) -> Response:
         """Submit; an inline cache hit returns immediately, a queued
-        miss is waited on and the terminal job status returned."""
-        response = self.submit(request)
-        if response.status != 202:
-            return response
-        return self.wait(response.body["job_id"], timeout=timeout)
+        miss is waited on and the terminal job status returned.
+
+        Survives the daemon's whole failure protocol within *timeout*:
+
+        - **429 backpressure/quota** — sleeps out ``Retry-After`` (or
+          a policy backoff) and resubmits.
+        - **daemon restart** — a transport failure mid-wait, a 404
+          ``unknown_job`` from a daemon that lost its in-memory queue,
+          or a job the old daemon failed with ``kind="shutdown"`` on
+          its way down, resubmits the same request: completed work
+          re-serves as a cache hit, lost work re-queues.
+
+        Anything else (400 bad request, a terminal job state) is
+        returned as-is.  Raises :class:`ServeClientError` only when
+        the deadline expires or the transport budget is exhausted.
+        """
+        deadline = time.monotonic() + timeout
+        round_no = 0
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServeClientError(
+                    f"submit_and_wait: no terminal outcome within "
+                    f"{timeout}s")
+            response = self.submit(request)
+            if response.status == 429:
+                pause = response.retry_after_s \
+                    or self.policy.delay_s(min(round_no, 6), "429")
+                time.sleep(min(pause, max(0.0, remaining)))
+                round_no += 1
+                continue
+            if response.status != 202:
+                return response
+            job_id = response.body["job_id"]
+            try:
+                waited = self.wait(job_id, timeout=remaining)
+            except ServeClientError:
+                # Transport died mid-wait (daemon restarting): give it
+                # one backoff, then start a fresh round — the cache
+                # answers inline if the work finished before the crash.
+                if deadline - time.monotonic() <= 0:
+                    raise
+                time.sleep(min(self.policy.delay_s(min(round_no, 6),
+                                                   "restart"),
+                               max(0.0, deadline - time.monotonic())))
+                round_no += 1
+                continue
+            if waited.status == 404:
+                # The daemon restarted and forgot the job id; resubmit.
+                round_no += 1
+                continue
+            result = waited.body.get("result") or {}
+            if (result.get("status") == "failed"
+                    and (result.get("failure") or {}).get("kind")
+                    == "shutdown"):
+                # The daemon failed the queued job while shutting down
+                # — not a simulation failure.  Resubmit: finished work
+                # re-serves as a cache hit, lost work re-queues.
+                round_no += 1
+                continue
+            return waited

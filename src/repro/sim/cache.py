@@ -34,11 +34,13 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
 from repro.prefetch.base import BoundaryStats
+from repro.sim import iofaults
 from repro.sim.metrics import RunMetrics
 
 #: Serialization format version: bump when the on-disk payload shape or the
@@ -153,10 +155,15 @@ def store(key: tuple, metrics: RunMetrics) -> bool:
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        os.close(fd)
         try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp, path)   # atomic on POSIX: readers never see torn data
+            # Full crash-consistent publish: write + fsync the temp
+            # file, atomic rename, fsync the directory — a power loss
+            # at any instant leaves the old entry or the new one,
+            # never a torn mix (and the entry itself is durable, not
+            # just the rename).
+            iofaults.publish_bytes(
+                "cache", path, json.dumps(payload).encode(), tmp)
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -182,7 +189,7 @@ def load_payload(key: tuple) -> Optional[dict]:
         return None
     path = entry_path(key)
     try:
-        payload = json.loads(path.read_text())
+        payload = json.loads(iofaults.read_bytes("cache.read", path))
         if (payload.get("version") != CACHE_VERSION
                 or payload.get("salt") != _salt()):
             return None
@@ -318,31 +325,78 @@ class CacheVerifyReport:
     ok: int = 0
     corrupt: int = 0
     stale: int = 0
+    tmp_orphans: int = 0        # leaked writer temp files (crashed stores)
+    tmp_removed: int = 0        # ... removed by --prune
+    quarantine_entries: int = 0  # files sitting in <cache>/quarantine
     quarantined: "list[Path]" = dataclasses.field(default_factory=list)
+
+    @property
+    def findings(self) -> int:
+        """Problems a --prune pass would act on."""
+        return self.corrupt + self.stale + self.tmp_orphans
 
     def describe(self) -> str:
         lines = [f"cache dir : {self.directory}",
                  f"scanned   : {self.scanned}",
                  f"ok        : {self.ok}",
                  f"corrupt   : {self.corrupt}",
-                 f"stale     : {self.stale}"]
+                 f"stale     : {self.stale}",
+                 f"tmp files : {self.tmp_orphans} orphaned"
+                 + (f" ({self.tmp_removed} removed)"
+                    if self.tmp_removed else ""),
+                 f"quarantine: {self.quarantine_entries} entries"]
         if self.quarantined:
             lines.append(f"quarantined {len(self.quarantined)} entries "
                          f"to {quarantine_dir()}")
-        elif self.corrupt or self.stale:
-            lines.append("re-run with --prune to quarantine them")
+        elif self.corrupt or self.stale or self.tmp_orphans:
+            lines.append("re-run with --prune to clean them up")
         return "\n".join(lines)
 
 
-def verify(prune: bool = False) -> CacheVerifyReport:
+#: A writer temp file older than this is an orphan from a crashed
+#: store, not a live in-flight publish, and is safe to sweep.
+TMP_ORPHAN_AGE_S = 60.0
+
+
+def iter_tmp_orphans(objects: Path,
+                     min_age_s: float = TMP_ORPHAN_AGE_S) -> "list[Path]":
+    """Leaked ``*.tmp`` files under an objects tree, oldest-first.
+
+    Only files older than *min_age_s* are reported so a concurrent
+    writer's still-open temp file is never mistaken for a leak.
+    """
+    orphans = []
+    now = time.time()
+    for path in sorted(objects.glob("*/*.tmp")):
+        try:
+            if now - path.stat().st_mtime >= min_age_s:
+                orphans.append(path)
+        except OSError:
+            continue
+    return orphans
+
+
+def count_quarantine(directory: Path) -> int:
+    """Number of files held in a quarantine directory."""
+    if not directory.is_dir():
+        return 0
+    return sum(1 for path in directory.iterdir() if path.is_file())
+
+
+def verify(prune: bool = False,
+           tmp_age_s: float = TMP_ORPHAN_AGE_S) -> CacheVerifyReport:
     """Scan every cache entry, classifying it as ok/stale/corrupt.
 
-    With ``prune=True``, corrupt and stale entries are moved to the
-    quarantine directory (not deleted) so they stop serving lookups but
-    remain available for inspection.
+    Also reports orphaned writer temp files (leaked by crashed stores)
+    and the size of the quarantine.  With ``prune=True``, corrupt and
+    stale entries are moved to the quarantine directory (not deleted)
+    so they stop serving lookups but remain available for inspection,
+    and orphaned temp files — which never held publishable data — are
+    unlinked outright.
     """
     report = CacheVerifyReport(directory=cache_dir())
     objects = cache_dir() / "objects"
+    report.quarantine_entries = count_quarantine(quarantine_dir())
     if not objects.is_dir():
         return report
     for path in sorted(objects.glob("*/*.json")):
@@ -359,6 +413,14 @@ def verify(prune: bool = False) -> CacheVerifyReport:
             dest = _quarantine(path)
             if dest is not None:
                 report.quarantined.append(dest)
+    for path in iter_tmp_orphans(objects, tmp_age_s):
+        report.tmp_orphans += 1
+        if prune:
+            try:
+                path.unlink()
+                report.tmp_removed += 1
+            except OSError:
+                continue
     return report
 
 

@@ -1,0 +1,413 @@
+"""Deterministic IO fault injection for the storage layer.
+
+``repro.sim.faults`` proves the *engine* degrades instead of dying; this
+module gives the same adversarial treatment to the durable state every
+layer depends on — the content-addressed run cache, the snapshot store,
+the campaign sqlite store, and the worker claim leases.  It is two
+things at once:
+
+1. **The filesystem shim.**  Every write/fsync/rename/read on those
+   paths goes through the hooks below (:func:`write`, :func:`fsync`,
+   :func:`replace`, :func:`read_bytes`, :func:`fsync_dir`,
+   :func:`check`, and the composed :func:`publish_bytes`).  When no
+   fault plan is armed each hook is a single ``None`` check in front of
+   the real ``os`` call — the disabled overhead is bench-asserted ≤ 2%
+   (``benchmarks/bench_iofaults.py``).
+2. **The fault grammar.**  ``REPRO_IO_FAULTS`` — in the style of
+   ``faults.parse`` — describes which storage *operations* fail and how::
+
+       spec    := clause (";" clause)*
+       clause  := kind target? (":" key "=" value)*
+       target  := "@" idx ("+" idx)*     explicit 0-based op indices
+                | "~" count "/" seed     seeded sample from a window
+       kind    := "enospc" | "torn" | "eio" | "fsync-lost"
+                | "partial-read" | "slow"
+
+   Examples::
+
+       REPRO_IO_FAULTS="enospc@3:site=cache"      # 4th cache write op
+       REPRO_IO_FAULTS="torn~2/7"                 # 2 seeded torn writes
+       REPRO_IO_FAULTS="eio:site=store"           # every sqlite op
+       REPRO_IO_FAULTS="fsync-lost@0:site=snapshot;slow:secs=0.01"
+
+   Parameters: ``site=<prefix>`` restricts a clause to one layer or op
+   (``cache``, ``cache.write``, ``snapshot``, ``store``, ``lease``,
+   ...); ``secs=<float>`` is the ``slow`` stall (default 0.01);
+   ``of=<int>`` is the seeded-sample window (default 16 ops per site).
+
+**Sites** are dotted ``<layer>.<op>`` names; the op suffix decides which
+kinds can fire there:
+
+    ========== =====================================================
+    op          kinds that apply
+    ========== =====================================================
+    write       enospc, torn, eio, slow
+    fsync       fsync-lost, eio, slow
+    rename      enospc, eio, slow
+    dirsync     eio, slow
+    read        partial-read, eio, slow
+    open        enospc, eio, slow        (sqlite connect)
+    commit      enospc, eio, slow        (sqlite transaction)
+    ========== =====================================================
+
+**Deterministic sequencing**: each site keeps a per-process operation
+counter; clause targets index into that sequence, so a replay of the
+same workload fires the same faults at the same operations.  Error
+kinds raise :class:`InjectedIOError` (an ``OSError`` with a real
+``errno``) so every caller's existing ``except OSError`` degradation
+path is exercised; ``torn`` and ``fsync-lost`` instead *succeed* while
+silently losing bytes — the published file is garbled exactly like a
+torn write or a power loss after a lost fsync, and must be caught by
+the reader-side validation (quarantine), never served.
+
+The plan is armed lazily from the environment on the first hook call
+(so pool workers inherit it), or explicitly via :func:`arm`/
+:func:`disarm` in tests.  A malformed spec raises
+:class:`IOFaultSpecError`, a :class:`ConfigurationError` — an operator
+mistake, not a simulation failure.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.config import ConfigurationError
+
+ENV_VAR = "REPRO_IO_FAULTS"
+
+KINDS = ("enospc", "torn", "eio", "fsync-lost", "partial-read", "slow")
+
+#: Which fault kinds can fire at which op suffix (see module docstring).
+_OPS_FOR_KIND = {
+    "enospc": ("write", "rename", "open", "commit"),
+    "torn": ("write",),
+    "eio": ("write", "fsync", "rename", "dirsync", "read", "open",
+            "commit"),
+    "fsync-lost": ("fsync",),
+    "partial-read": ("read",),
+    "slow": ("write", "fsync", "rename", "dirsync", "read", "open",
+             "commit"),
+}
+
+#: Default window for seeded "~count/seed" sampling (ops per site).
+DEFAULT_WINDOW = 16
+
+
+class IOFaultSpecError(ConfigurationError):
+    """A ``REPRO_IO_FAULTS`` spec failed to parse."""
+
+
+class InjectedIOError(OSError):
+    """An injected storage failure (carries a real errno)."""
+
+
+@dataclass(frozen=True)
+class IOFaultClause:
+    """One parsed spec clause: kind, site filter, and op targets."""
+
+    kind: str
+    site: str = ""                              # dotted prefix filter
+    indices: Optional[Tuple[int, ...]] = None   # explicit "@" targets
+    count: int = 0                              # seeded "~" sample size
+    seed: int = 0
+    window: int = DEFAULT_WINDOW
+    secs: float = 0.01                          # slow stall duration
+
+    def matches_site(self, site: str) -> bool:
+        if not self.site:
+            return True
+        return site == self.site or site.startswith(self.site + ".")
+
+    def fires(self, site: str, index: int) -> bool:
+        """Does this clause fire for op *index* of *site*?"""
+        if site.rsplit(".", 1)[-1] not in _OPS_FOR_KIND[self.kind]:
+            return False
+        if not self.matches_site(site):
+            return False
+        if self.indices is not None:
+            return index in self.indices
+        if self.count:
+            if index >= self.window:
+                return False
+            # Seed mixed with the site so two sites fail at different
+            # offsets, deterministically across processes and replays.
+            rng = random.Random(self.seed ^ zlib.crc32(site.encode()))
+            return index in rng.sample(range(self.window),
+                                       min(self.count, self.window))
+        return True                              # bare kind: every op
+
+
+def _parse_clause(clause: str) -> IOFaultClause:
+    head, *raw_params = clause.split(":")
+    params: Dict[str, object] = {}
+    for item in raw_params:
+        key, sep, value = item.partition("=")
+        if not sep or not value:
+            raise IOFaultSpecError(
+                f"{ENV_VAR} clause {clause!r}: malformed parameter "
+                f"{item!r}")
+        try:
+            if key == "site":
+                params["site"] = value
+            elif key == "secs":
+                params["secs"] = float(value)
+            elif key == "of":
+                params["window"] = int(value)
+                if params["window"] <= 0:
+                    raise IOFaultSpecError(
+                        f"{ENV_VAR} clause {clause!r}: of= must be > 0")
+            else:
+                raise IOFaultSpecError(
+                    f"{ENV_VAR} clause {clause!r}: unknown parameter "
+                    f"{key!r} (expected site=, secs= or of=)")
+        except ValueError:
+            raise IOFaultSpecError(
+                f"{ENV_VAR} clause {clause!r}: bad value for "
+                f"{key!r}: {value!r}") from None
+
+    explicit = "@" in head
+    seeded = "~" in head
+    if explicit and seeded:
+        raise IOFaultSpecError(
+            f"{ENV_VAR} clause {clause!r}: use @idx or ~count/seed, "
+            f"not both")
+    if explicit:
+        kind, _, target = head.partition("@")
+        try:
+            indices = tuple(int(part) for part in target.split("+"))
+        except ValueError:
+            raise IOFaultSpecError(
+                f"{ENV_VAR} clause {clause!r}: bad op index in "
+                f"{target!r}") from None
+        if any(i < 0 for i in indices):
+            raise IOFaultSpecError(
+                f"{ENV_VAR} clause {clause!r}: negative op index")
+        params["indices"] = indices
+    elif seeded:
+        kind, _, target = head.partition("~")
+        count_str, sep, seed_str = target.partition("/")
+        if not sep or not count_str or not seed_str:
+            raise IOFaultSpecError(
+                f"{ENV_VAR} clause {clause!r}: seeded target must be "
+                f"count/seed")
+        try:
+            params["count"], params["seed"] = int(count_str), int(seed_str)
+        except ValueError:
+            raise IOFaultSpecError(
+                f"{ENV_VAR} clause {clause!r}: bad count/seed "
+                f"{target!r}") from None
+        if params["count"] < 0:
+            raise IOFaultSpecError(
+                f"{ENV_VAR} clause {clause!r}: negative count")
+    else:
+        kind = head
+    if kind not in KINDS:
+        raise IOFaultSpecError(
+            f"{ENV_VAR} clause {clause!r}: unknown kind {kind!r} "
+            f"(expected one of {', '.join(KINDS)})")
+    return IOFaultClause(kind=kind, **params)
+
+
+def parse(spec: str) -> List[IOFaultClause]:
+    """Parse a fault spec string (raises :class:`IOFaultSpecError`)."""
+    clauses = []
+    for part in spec.split(";"):
+        part = part.strip()
+        if part:
+            clauses.append(_parse_clause(part))
+    return clauses
+
+
+def plan_from_env() -> Optional[List[IOFaultClause]]:
+    """The clauses armed via ``REPRO_IO_FAULTS``, or None when unset."""
+    spec = os.environ.get(ENV_VAR, "").strip()
+    if not spec:
+        return None
+    return parse(spec)
+
+
+# ----------------------------------------------------------------------
+# Arming
+# ----------------------------------------------------------------------
+
+_UNINITIALIZED = object()
+
+#: The armed plan: _UNINITIALIZED until the first hook call (then read
+#: once from the environment), None when disabled, else clause list.
+_PLAN = _UNINITIALIZED
+
+#: Per-site operation counters (deterministic sequencing).
+_COUNTERS: Dict[str, int] = {}
+
+
+def arm(spec: str) -> List[IOFaultClause]:
+    """Arm a fault plan for this process (tests; resets sequencing)."""
+    global _PLAN
+    _PLAN = parse(spec)
+    _COUNTERS.clear()
+    return _PLAN
+
+
+def disarm() -> None:
+    """Disable injection and forget the cached environment read."""
+    global _PLAN
+    _PLAN = _UNINITIALIZED
+    _COUNTERS.clear()
+
+
+def reset_counters() -> None:
+    """Zero the per-site op counters (test isolation helper)."""
+    _COUNTERS.clear()
+
+
+def _plan() -> Optional[List[IOFaultClause]]:
+    global _PLAN
+    if _PLAN is _UNINITIALIZED:
+        _PLAN = plan_from_env()
+        _COUNTERS.clear()
+    return _PLAN
+
+
+def _actions(site: str) -> List[IOFaultClause]:
+    """Advance *site*'s op counter; return the clauses firing on it."""
+    plan = _plan()
+    if plan is None:
+        return ()
+    index = _COUNTERS.get(site, 0)
+    _COUNTERS[site] = index + 1
+    return [clause for clause in plan if clause.fires(site, index)]
+
+
+def _raise_for(site: str, fired: List[IOFaultClause]) -> None:
+    """Apply error/slow kinds; torn/fsync-lost are handled by callers."""
+    for clause in fired:
+        if clause.kind == "slow":
+            time.sleep(clause.secs)
+        elif clause.kind == "enospc":
+            raise InjectedIOError(
+                errno.ENOSPC, f"injected ENOSPC at {site}")
+        elif clause.kind == "eio":
+            raise InjectedIOError(errno.EIO, f"injected EIO at {site}")
+
+
+# ----------------------------------------------------------------------
+# The filesystem shim
+# ----------------------------------------------------------------------
+
+def check(site: str) -> None:
+    """Generic fault point for ops with no data payload (open/commit)."""
+    if _PLAN is None:
+        return
+    _raise_for(site, _actions(site))
+
+
+def write(site: str, handle, data: bytes) -> None:
+    """``handle.write(data)`` with enospc/eio/torn/slow injection.
+
+    ``torn`` writes only the first half and then *succeeds* — the
+    publish that follows exposes a torn file, exactly like a crashed
+    writer on a non-atomic filesystem.
+    """
+    if _PLAN is None:
+        handle.write(data)
+        return
+    fired = _actions(site)
+    _raise_for(site, fired)
+    if any(clause.kind == "torn" for clause in fired):
+        handle.write(data[:len(data) // 2])
+        return
+    handle.write(data)
+
+
+def fsync(site: str, handle) -> None:
+    """``flush + os.fsync`` with fsync-lost/eio/slow injection.
+
+    ``fsync-lost`` models a power loss after a silently-failed fsync:
+    the call reports success but the tail of the file never reached the
+    platter — implemented by truncating the still-unpublished temp file
+    to half, so the subsequent rename publishes a torn entry.
+    """
+    if _PLAN is None:
+        handle.flush()
+        os.fsync(handle.fileno())
+        return
+    fired = _actions(site)
+    _raise_for(site, fired)
+    handle.flush()
+    if any(clause.kind == "fsync-lost" for clause in fired):
+        size = os.fstat(handle.fileno()).st_size
+        os.ftruncate(handle.fileno(), size // 2)
+        return
+    os.fsync(handle.fileno())
+
+
+def replace(site: str, src, dst) -> None:
+    """``os.replace`` with enospc/eio/slow injection."""
+    if _PLAN is None:
+        os.replace(src, dst)
+        return
+    _raise_for(site, _actions(site))
+    os.replace(src, dst)
+
+
+def read_bytes(site: str, path) -> bytes:
+    """``Path.read_bytes`` with partial-read/eio/slow injection.
+
+    ``partial-read`` returns only the first half of the file — the
+    caller's validation must treat it exactly like a torn entry.
+    """
+    if not isinstance(path, Path):
+        path = Path(path)
+    if _PLAN is None:
+        return path.read_bytes()
+    fired = _actions(site)
+    _raise_for(site, fired)
+    data = path.read_bytes()
+    if any(clause.kind == "partial-read" for clause in fired):
+        return data[:len(data) // 2]
+    return data
+
+
+def fsync_dir(site: str, path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    Failures of the *real* dir fsync are swallowed (some filesystems
+    refuse O_RDONLY dir fsync); injected eio is raised like any other.
+    """
+    if _PLAN is not None:
+        _raise_for(site, _actions(site))
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def publish_bytes(layer: str, path: Path, data: bytes,
+                  tmp: str) -> None:
+    """The shared temp-fsync-rename-dirsync publish sequence.
+
+    Writes *data* to the already-created temp file *tmp*, fsyncs it,
+    atomically renames it over *path*, and fsyncs the parent directory
+    — the crash-consistent pattern every durable writer uses, with a
+    fault point at each step (``<layer>.write``, ``<layer>.fsync``,
+    ``<layer>.rename``, ``<layer>.dirsync``).  Raises ``OSError`` on
+    (injected or real) failure; the temp file is the caller's to clean.
+    """
+    with open(tmp, "wb") as handle:
+        write(f"{layer}.write", handle, data)
+        fsync(f"{layer}.fsync", handle)
+    replace(f"{layer}.rename", tmp, path)
+    fsync_dir(f"{layer}.dirsync", path.parent)

@@ -45,6 +45,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Tuple
 
+from repro.sim import iofaults
 from repro.sim.cache import CACHE_VERSION, CODE_VERSION, cache_dir
 from repro.sim.config import env_int
 
@@ -138,17 +139,13 @@ def store(key: tuple, access_index: int, state: dict) -> bool:
         "length": len(body),
         "sha256": hashlib.sha256(body).hexdigest(),
     }
+    data = MAGIC + json.dumps(header).encode() + b"\n" + body
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        os.close(fd)
         try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(MAGIC)
-                handle.write(json.dumps(header).encode() + b"\n")
-                handle.write(body)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, path)
+            iofaults.publish_bytes("snapshot", path, data, tmp)
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -215,10 +212,9 @@ def load(key: tuple) -> Optional[Tuple[int, dict]]:
         COUNTERS["misses"] += 1
         return None
     try:
-        with path.open("rb") as handle:
-            handle.read(len(MAGIC))
-            handle.readline()
-            body = handle.read()
+        raw = iofaults.read_bytes("snapshot.read", path)
+        newline = raw.index(b"\n", len(MAGIC))
+        body = raw[newline + 1:]
         if (len(body) != header["length"]
                 or hashlib.sha256(body).hexdigest() != header.get("sha256")):
             raise ValueError("snapshot body failed validation")

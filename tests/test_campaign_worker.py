@@ -89,6 +89,69 @@ class TestLeasePrimitives:
         assert worker_mod.lease_age_s(tmp_path / "nope.lease") is None
 
 
+class TestTakeoverRacingLiveWriter:
+    """Satellite: a reclaimer firing at the worst moment — exactly while
+    the (actually alive) holder finishes and releases.  Whatever
+    interleaving wins, nothing crashes, the slot ends free, no takeover
+    tombstone leaks, and the next claim has exactly one winner."""
+
+    def _aged_lease(self, tmp_path, n):
+        path = tmp_path / f"cell{n}.lease"
+        assert try_claim(path, "holder")
+        old = time.time() - 1000
+        os.utime(path, (old, old))
+        return path
+
+    def test_release_vs_reclaim_race(self, tmp_path):
+        for round_no in range(25):
+            path = self._aged_lease(tmp_path, round_no)
+            barrier = threading.Barrier(2)
+            outcome = {}
+
+            def reclaimer():
+                barrier.wait()
+                outcome["reclaimed"] = reclaim_if_stale(
+                    path, ttl=5, worker="taker")
+
+            def releaser():
+                barrier.wait()
+                worker_mod.release(path)
+
+            threads = [threading.Thread(target=reclaimer),
+                       threading.Thread(target=releaser)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            # The slot is free either way and no tombstone leaks.
+            assert not path.exists()
+            assert not list(tmp_path.glob(f"cell{round_no}.lease.stale.*"))
+            # The freed slot is claimable by exactly one next worker.
+            winners = [try_claim(path, "next-a"), try_claim(path, "next-b")]
+            assert winners == [True, False]
+            worker_mod.release(path)
+
+    def test_reclaim_vs_reclaim_race_has_one_winner(self, tmp_path):
+        for round_no in range(10):
+            path = self._aged_lease(tmp_path, round_no + 100)
+            barrier = threading.Barrier(8)
+            results = {}
+
+            def reclaimer(name):
+                barrier.wait()
+                results[name] = reclaim_if_stale(path, ttl=5, worker=name)
+
+            threads = [threading.Thread(target=reclaimer, args=(f"r{i}",))
+                       for i in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert sum(results.values()) == 1
+            assert not path.exists()
+            assert not list(tmp_path.glob("*.stale.*"))
+
+
 class TestSingleWorker:
     def test_drains_grid_and_releases_leases(self, store):
         campaign = tiny_campaign(n_accesses=1310)
@@ -183,6 +246,28 @@ class TestConcurrentWorkers:
         assert healthy["failed"] == 0
         with CampaignStore(db) as store:
             assert store.status(campaign).complete
+        assert worker_mod.active_leases(campaign) == []
+
+
+class TestStoreFaultResilience:
+    def test_worker_survives_store_commit_faults(self, store):
+        # Every sqlite write fails; the worker must still drain the
+        # grid (the disk cache is the ground truth) and a later healthy
+        # sync must converge the store with zero re-simulation.
+        from repro.sim import iofaults
+        campaign = tiny_campaign(n_accesses=1380)
+        store.register(campaign)            # registered while healthy
+        iofaults.arm("eio:site=store.commit")
+        try:
+            report = run_worker(campaign, store=store, worker="stoic")
+        finally:
+            iofaults.disarm()
+        assert report.simulated == 4 and report.failed == 0
+        assert report.store_errors > 0
+        assert "store writes failed" in report.describe()
+        assert not store.status(campaign).complete   # rows lost...
+        assert store.sync_from_cache(campaign) == 4  # ...and recovered
+        assert store.status(campaign).complete
         assert worker_mod.active_leases(campaign) == []
 
 

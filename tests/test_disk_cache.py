@@ -9,6 +9,7 @@ import dataclasses
 import json
 import multiprocessing
 import os
+import time
 
 import pytest
 
@@ -207,6 +208,59 @@ class TestQuarantine:
         assert "corrupt   : 0" in capsys.readouterr().out
 
 
+class TestTmpOrphans:
+    """Satellite: crashed writers leak ``*.tmp`` files forever unless
+    ``verify --prune`` sweeps them; live writers' temps must be kept."""
+
+    def _leak(self, age_s=1000.0, name="leak.tmp"):
+        cache.store(KEY, sample_metrics())
+        orphan = cache.entry_path(KEY).parent / name
+        orphan.write_text("half a write from a crashed proc")
+        old = time.time() - age_s
+        os.utime(orphan, (old, old))
+        return orphan
+
+    def test_verify_reports_orphans_without_prune(self):
+        orphan = self._leak()
+        report = cache.verify()
+        assert report.tmp_orphans == 1
+        assert report.tmp_removed == 0
+        assert orphan.exists()
+        assert "1 orphaned" in report.describe()
+
+    def test_prune_removes_old_orphans_keeps_live_temps(self):
+        orphan = self._leak()
+        live = self._leak(age_s=0.0, name="inflight.tmp")
+        report = cache.verify(prune=True)
+        assert report.tmp_orphans == 1 and report.tmp_removed == 1
+        assert not orphan.exists()
+        assert live.exists()           # younger than TMP_ORPHAN_AGE_S
+        assert cache.load(KEY) == sample_metrics()   # entries untouched
+
+    def test_verify_counts_quarantine_contents(self):
+        cache.store(KEY, sample_metrics())
+        cache.entry_path(KEY).write_text("garbage")
+        assert cache.load(KEY) is None          # quarantines
+        report = cache.verify()
+        assert report.quarantine_entries == 1
+        assert "quarantine: 1 entries" in report.describe()
+
+    def test_cli_verify_exit_1_on_orphans(self, capsys):
+        from repro.cli import main
+        self._leak()
+        assert main(["cache", "verify"]) == 1
+        assert "1 orphaned" in capsys.readouterr().out
+        assert main(["cache", "verify", "--prune"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "verify"]) == 0
+
+    def test_store_leaves_no_temp_behind(self):
+        for i in range(5):
+            cache.store(("run", f"k{i}"), sample_metrics())
+        objects = cache.cache_dir() / "objects"
+        assert not list(objects.glob("*/*.tmp"))
+
+
 class TestFingerprintCompleteness:
     """Every configuration field must widen the key (satellite fix: the old
     hand-written fingerprint omitted geometry/latency/core fields)."""
@@ -306,3 +360,49 @@ class TestConcurrentWriters:
         assert stats.entries == 1 + 4 * 25
         for path in (isolated_cache / "objects").glob("*/*.json"):
             json.loads(path.read_text())
+
+
+def _same_key_writer(args):
+    """Child entry: hammer one key; exit code reports store success."""
+    directory, worker_id, rounds = args
+    os.environ["REPRO_CACHE_DIR"] = directory
+    metrics = sample_metrics()
+    metrics.instructions = worker_id
+    return all(cache.store(("run", "same-key"), metrics)
+               for _ in range(rounds))
+
+
+class TestSameKeyRace:
+    """Satellite: two processes storing the *same* key while a reader
+    polls it.  Atomic publish means the reader sees nothing or one
+    writer's complete payload — never torn JSON — and the final entry is
+    last-writer-wins intact."""
+
+    ROUNDS = 40
+
+    def test_reader_never_sees_torn_json(self, isolated_cache):
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(2) as pool:
+            async_result = pool.map_async(
+                _same_key_writer,
+                [(str(isolated_cache), worker_id, self.ROUNDS)
+                 for worker_id in (7, 8)])
+            observed = set()
+            while not async_result.ready():
+                loaded = cache.load(("run", "same-key"))
+                if loaded is not None:
+                    observed.add(loaded.instructions)
+            assert all(async_result.get())
+        # Every successful read was one writer's complete payload.
+        assert observed <= {7, 8}
+        # A torn read would have been quarantined: prove none ever was.
+        assert cache.quarantine_dir().exists() is False \
+            or not list(cache.quarantine_dir().iterdir())
+        final = cache.load(("run", "same-key"))
+        assert final is not None and final.instructions in (7, 8)
+        # Exactly one object on disk, parsing cleanly (last writer won).
+        assert cache.stats().entries == 1
+        (path,) = (isolated_cache / "objects").glob("*/*.json")
+        json.loads(path.read_text())
+        # No writer temp files leaked by either process.
+        assert not list((isolated_cache / "objects").glob("*/*.tmp"))

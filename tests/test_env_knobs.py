@@ -8,7 +8,8 @@ import pytest
 from repro.campaign import store as campaign_store
 from repro.campaign import worker as campaign_worker
 from repro.serve import app as serve_app
-from repro.sim import runner, snapshot, supervisor
+from repro.serve import client as serve_client
+from repro.sim import iofaults, runner, snapshot, supervisor
 from repro.sim.config import ConfigurationError, env_float, env_int, env_str
 
 
@@ -167,6 +168,8 @@ class TestServeKnobs:
         ("REPRO_SERVE_PORT", serve_app.serve_port),
         ("REPRO_QUEUE_MAX", serve_app.queue_max),
         ("REPRO_CLIENT_QUOTA", serve_app.client_quota),
+        ("REPRO_CLIENT_RETRIES", serve_client.client_retries),
+        ("REPRO_CLIENT_BACKOFF", serve_client.client_backoff),
     ])
     def test_garbage_raises_configuration_error(self, monkeypatch, var,
                                                 call):
@@ -187,6 +190,24 @@ class TestServeKnobs:
         with pytest.raises(ConfigurationError):
             serve_app.client_quota()         # 0 = unlimited is the floor
 
+    def test_client_retry_bounds(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLIENT_RETRIES", "-1")
+        with pytest.raises(ConfigurationError):
+            serve_client.client_retries()    # 0 = no retries is the floor
+        monkeypatch.setenv("REPRO_CLIENT_BACKOFF", "-0.5")
+        with pytest.raises(ConfigurationError):
+            serve_client.client_backoff()    # 0 = immediate is the floor
+
+    def test_client_retry_defaults_and_values(self, monkeypatch):
+        for var in ("REPRO_CLIENT_RETRIES", "REPRO_CLIENT_BACKOFF"):
+            monkeypatch.delenv(var, raising=False)
+        assert serve_client.client_retries() == 4
+        assert serve_client.client_backoff() == 0.1
+        monkeypatch.setenv("REPRO_CLIENT_RETRIES", "0")
+        monkeypatch.setenv("REPRO_CLIENT_BACKOFF", "0")
+        assert serve_client.client_retries() == 0
+        assert serve_client.client_backoff() == 0.0
+
     def test_defaults_and_values(self, monkeypatch):
         for var in ("REPRO_SERVE_HOST", "REPRO_SERVE_PORT",
                     "REPRO_QUEUE_MAX", "REPRO_CLIENT_QUOTA"):
@@ -201,3 +222,42 @@ class TestServeKnobs:
         assert serve_app.serve_port() == 0
         assert serve_app.queue_max() == 8
         assert serve_app.client_quota() == 0
+
+
+class TestStorageFaultKnobs:
+    """``REPRO_IO_FAULTS`` is validated by the same contract: garbage
+    is an operator error naming the variable, never a crash downstream."""
+
+    @pytest.mark.parametrize("spec", [
+        "frobnicate",                 # unknown kind
+        "torn@x:site=cache",          # non-integer index
+        "eio~2:site=cache",           # seeded target missing /seed
+        "torn:sight=cache",           # unknown parameter
+        "slow:secs=soon",             # bad float
+        "enospc@-1",                  # negative index
+    ])
+    def test_garbage_spec_is_configuration_error(self, monkeypatch, spec):
+        monkeypatch.setenv("REPRO_IO_FAULTS", spec)
+        with pytest.raises(ConfigurationError) as excinfo:
+            iofaults.plan_from_env()
+        assert "REPRO_IO_FAULTS" in str(excinfo.value)
+
+    def test_unset_and_blank_mean_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_IO_FAULTS", raising=False)
+        assert iofaults.plan_from_env() is None
+        monkeypatch.setenv("REPRO_IO_FAULTS", "   ")
+        assert iofaults.plan_from_env() is None
+
+    def test_valid_spec_parses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_IO_FAULTS",
+                           "torn@0+2:site=cache;eio~1/7:site=store")
+        plan = iofaults.plan_from_env()
+        assert [c.kind for c in plan] == ["torn", "eio"]
+        assert plan[0].indices == (0, 2)
+        assert plan[1].count == 1 and plan[1].seed == 7
+
+    def test_spec_error_is_not_a_simulation_failure(self):
+        assert issubclass(iofaults.IOFaultSpecError, ConfigurationError)
+        assert not issubclass(iofaults.IOFaultSpecError, ValueError)
+        assert iofaults.IOFaultSpecError \
+            not in supervisor.PERMANENT_EXCEPTIONS
