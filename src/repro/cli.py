@@ -438,8 +438,34 @@ def cmd_serve(args) -> int:
     app = ServeApp(host=args.host, port=args.port,
                    queue_depth=args.queue_max, quota=args.quota,
                    engine_jobs=args.jobs,
-                   heal_on_start=not args.no_doctor)
+                   heal_on_start=not args.no_doctor,
+                   cluster=args.cluster)
     return app.run()
+
+
+def cmd_cluster_status(args) -> int:
+    import json
+
+    from repro.serve import cluster as cluster_mod
+
+    status = cluster_mod.cluster_status(probe_timeout=args.probe_timeout)
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        print(f"registry : {status['registry']} "
+              f"(ttl {status['ttl_s']:g}s)")
+        if not status["members"]:
+            print("members  : none registered")
+        for info in status["members"]:
+            extra = ""
+            if info.get("queue_depth") is not None:
+                extra = f" queue={info['queue_depth']}"
+            print(f"  {info['member_id']:24s} "
+                  f"{info['host']}:{info['port']} "
+                  f"{info['health']:12s} age={info['age_s']:.1f}s"
+                  f"{extra}")
+        print(f"alive    : {status['alive']}/{len(status['members'])}")
+    return 0 if status["alive"] or not status["members"] else 1
 
 
 def cmd_verify(args) -> int:
@@ -829,9 +855,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--no-doctor", action="store_true",
                          help="skip the startup doctor --repair pass "
                               "over the durable state")
+    p_serve.add_argument("--cluster", action="store_true",
+                         help="publish a heartbeat-renewed member "
+                              "record into the shared cache dir so "
+                              "peers and cluster clients discover "
+                              "this replica")
     p_serve.add_argument("--log-level", default="info",
                          choices=["debug", "info", "warning", "error"])
     p_serve.set_defaults(func=cmd_serve)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="inspect the multi-daemon cluster over the shared cache")
+    cluster_sub = p_cluster.add_subparsers(dest="cluster_command",
+                                           required=True)
+    p_cstatus = cluster_sub.add_parser(
+        "status",
+        help="list registered replicas with a live health probe")
+    p_cstatus.add_argument("--json", action="store_true",
+                           help="machine-readable output")
+    p_cstatus.add_argument("--probe-timeout", type=float, default=2.0,
+                           help="per-replica /healthz timeout "
+                                "(default 2s)")
+    p_cstatus.set_defaults(func=cmd_cluster_status)
     return parser
 
 

@@ -18,12 +18,25 @@ from repro.serve.app import (
     serve_port,
     start_in_thread,
 )
-from repro.serve.client import Response, ServeClient, ServeClientError
-from repro.serve.protocol import ProtocolError, parse_run_request
+from repro.serve.client import (
+    GarbledResponseError,
+    Response,
+    ServeClient,
+    ServeClientError,
+)
+from repro.serve.cluster import ClusterClient, MemberRecord, member_ttl
+from repro.serve.netfaults import NetFaultSpecError
+from repro.serve.protocol import (
+    ProtocolError,
+    parse_run_request,
+    request_digest,
+)
 
 __all__ = [
     "ServeApp", "ServeHandle", "start_in_thread",
-    "ServeClient", "ServeClientError", "Response",
-    "ProtocolError", "parse_run_request",
+    "ServeClient", "ServeClientError", "GarbledResponseError",
+    "Response", "ClusterClient", "MemberRecord", "member_ttl",
+    "NetFaultSpecError",
+    "ProtocolError", "parse_run_request", "request_digest",
     "serve_host", "serve_port", "queue_max", "client_quota",
 ]

@@ -15,7 +15,8 @@ cache hit.
 
 Endpoints::
 
-    GET  /healthz                 liveness probe
+    GET  /healthz                 liveness probe (+ draining/member_id)
+    GET  /cluster                 membership registry view
     GET  /metrics                 queue depth, hit rate, p50/p99, workers
     POST /submit                  one run request (see serve.protocol)
     POST /batch                   {"requests": [...]} bulk admission
@@ -27,7 +28,18 @@ Endpoints::
 Backpressure contract: a full queue or an exhausted per-client quota
 answers ``429`` with a ``Retry-After`` header priced from the current
 backlog and the observed per-miss service time; the body's ``error``
-field distinguishes ``queue_full`` from ``quota_exceeded``.
+field distinguishes ``queue_full`` from ``quota_exceeded``.  A daemon
+that has begun shutting down answers ``503 draining`` instead, so
+cluster clients fail over immediately rather than queueing against a
+dying replica.
+
+With ``cluster=True`` (``repro serve --cluster``) the daemon also
+publishes a heartbeat-renewed member record into the shared cache dir
+(see ``repro.serve.cluster``) so peers and clients can discover it;
+``/cluster`` serves the registry view.  Both sides of every connection
+cross the ``repro.serve.netfaults`` shim (sites ``daemon.accept`` /
+``daemon.respond``) so ``REPRO_NET_FAULTS`` can deterministically
+wreck the transport plane in chaos tests.
 
 Env knobs (validated like every other ``REPRO_*`` knob):
 ``REPRO_SERVE_HOST``, ``REPRO_SERVE_PORT``, ``REPRO_QUEUE_MAX``,
@@ -47,10 +59,11 @@ from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.sim import cache as disk_cache
-from repro.sim import runner, snapshot
+from repro.sim import runner, snapshot, supervisor
 from repro.sim.cache import metrics_to_dict
-from repro.sim.config import env_int, env_str
-from repro.serve import protocol
+from repro.sim.config import ConfigurationError, env_int, env_str
+from repro.serve import cluster as cluster_mod
+from repro.serve import netfaults, protocol
 from repro.serve.queue import (
     ADMIT_COALESCED,
     ADMIT_QUEUE_FULL,
@@ -73,7 +86,7 @@ MAX_WAIT_S = 60.0
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
             404: "Not Found", 405: "Method Not Allowed",
             413: "Payload Too Large", 429: "Too Many Requests",
-            500: "Internal Server Error"}
+            500: "Internal Server Error", 503: "Service Unavailable"}
 
 
 def serve_host() -> str:
@@ -108,7 +121,8 @@ class ServeApp:
                  quota: Optional[int] = None,
                  engine_jobs: Optional[int] = None,
                  batch_linger_s: float = 0.05,
-                 heal_on_start: bool = True):
+                 heal_on_start: bool = True,
+                 cluster: bool = False):
         self.host = host if host is not None else serve_host()
         self.port = port if port is not None else serve_port()
         self.heal_on_start = heal_on_start
@@ -118,6 +132,9 @@ class ServeApp:
         self.quotas = ClientQuotas(
             quota if quota is not None else client_quota())
         self.engine_jobs = engine_jobs
+        self.cluster_enabled = cluster
+        self.member: Optional[cluster_mod.MemberRecord] = None
+        self._heartbeat: Optional[asyncio.Task] = None
         self.batch_linger_s = max(0.0, batch_linger_s)
         self.started_at = time.monotonic()
         self.busy_s = 0.0            # executor time spent in run_batch
@@ -135,6 +152,20 @@ class ServeApp:
     # -- lifecycle -----------------------------------------------------
 
     async def start(self) -> None:
+        # The serial engine's SIGALRM watchdog only works on the main
+        # thread, and the daemon always runs batches on an executor
+        # thread — so a run-timeout armed with a single engine job
+        # could never fire.  Refuse at startup instead of silently
+        # serving without the protection the operator asked for.
+        effective_jobs = (self.engine_jobs if self.engine_jobs
+                          is not None else runner.job_count())
+        if supervisor.run_timeout() is not None and effective_jobs < 2:
+            raise ConfigurationError(
+                f"repro serve needs >= 2 engine jobs when "
+                f"REPRO_RUN_TIMEOUT is set (got {effective_jobs}): the "
+                f"serial watchdog is SIGALRM-based and cannot run on "
+                f"the daemon's executor thread — raise --jobs/"
+                f"REPRO_JOBS or unset REPRO_RUN_TIMEOUT")
         # Heal before binding: a daemon restarted onto a damaged cache
         # (torn entries from its own SIGKILL, stale leases, a diverged
         # store) must not admit traffic until the durable state is
@@ -157,6 +188,13 @@ class ServeApp:
             self._handle_connection, host=self.host, port=self.port)
         self.port = self._server.sockets[0].getsockname()[1]
         self.started_at = time.monotonic()
+        if self.cluster_enabled:
+            # Register only after the real (possibly ephemeral) port is
+            # known; the record renews from a loop task so a wedged or
+            # killed daemon goes stale and gets reaped by its peers.
+            self.member = cluster_mod.register(self.host, self.port)
+            self._heartbeat = self._loop.create_task(
+                self._heartbeat_loop())
         self._dispatcher = self._loop.create_task(self._dispatch_loop())
         try:
             for signum in (signal.SIGINT, signal.SIGTERM):
@@ -172,8 +210,33 @@ class ServeApp:
         if self._closed is not None:
             self._closed.set()
 
+    async def _heartbeat_loop(self) -> None:
+        ttl = cluster_mod.member_ttl()
+        while not self._closing:
+            await asyncio.sleep(max(0.05, ttl / 3.0))
+            if self._closing:
+                return
+            try:
+                cluster_mod.heartbeat(self.member)
+                cluster_mod.reap_stale()
+            except OSError as exc:
+                # A failed renewal (cache dir wrecked, injected fault)
+                # must not kill the daemon: it keeps serving, and the
+                # record simply goes stale until a renewal succeeds.
+                LOG.warning("member heartbeat failed: %s", exc)
+
     async def wait_closed(self) -> None:
         await self._closed.wait()
+        # Leave the cluster first so clients stop routing new work
+        # here while we drain.
+        if self._heartbeat is not None:
+            self._heartbeat.cancel()
+            try:
+                await self._heartbeat
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self.member is not None:
+            cluster_mod.deregister(self.member)
         # Fail whatever is still queued *before* tearing the server down
         # so no long-poller can hang (or, on Pythons where
         # ``Server.wait_closed`` waits for handlers, deadlock teardown).
@@ -322,6 +385,14 @@ class ServeApp:
     def _admit_one(self, data, client: str) -> Tuple[int, dict, dict]:
         """Admit one submission object; returns (status, body, headers)."""
         begin = time.monotonic()
+        if self._closing:
+            # Draining: unlike 429 (try me again shortly) this tells a
+            # cluster client to take the work to another replica now.
+            self.queue.counters["rejected_draining"] += 1
+            return 503, {"error": "draining",
+                         "detail": "daemon is shutting down; resubmit "
+                                   "to another replica"}, \
+                {"Retry-After": "1"}
         try:
             request = protocol.parse_run_request(data)
         except protocol.ProtocolError as exc:
@@ -378,6 +449,13 @@ class ServeApp:
 
     async def _serve_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
+        if netfaults.accept("daemon.accept") != "ok":
+            # Injected refuse/reset at the accept seam: sever before
+            # reading a byte — the client observes a dead dial.
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+            return
         peer = writer.get_extra_info("peername")
         peer_host = peer[0] if isinstance(peer, tuple) else "unknown"
         try:
@@ -454,7 +532,12 @@ class ServeApp:
         if path == "/healthz" and method == "GET":
             return await self._respond(writer, 200, {
                 "ok": True, "queue_depth": self.queue.depth(),
+                "draining": self._closing,
+                "member_id": self.member.member_id
+                if self.member is not None else None,
                 "uptime_s": round(time.monotonic() - self.started_at, 3)})
+        if path == "/cluster" and method == "GET":
+            return await self._respond(writer, 200, self.cluster_info())
         if path == "/metrics" and method == "GET":
             return await self._respond(writer, 200, self.metrics())
         if path == "/submit" and method == "POST":
@@ -483,7 +566,8 @@ class ServeApp:
             return await self._respond(writer, 200, {"results": results})
         if path.startswith("/jobs/") and method == "GET":
             return await self._route_jobs(path, query, writer)
-        if path in ("/healthz", "/metrics", "/submit", "/batch"):
+        if path in ("/healthz", "/cluster", "/metrics", "/submit",
+                    "/batch"):
             return await self._respond(writer, 405, {
                 "error": "method_not_allowed"})
         return await self._respond(writer, 404, {"error": "not_found"})
@@ -601,6 +685,18 @@ class ServeApp:
 
     # -- observability -------------------------------------------------
 
+    def cluster_info(self) -> dict:
+        """Registry view served on ``/cluster`` (stale peers included,
+        flagged, so operators can see who stopped renewing)."""
+        return {
+            "enabled": self.cluster_enabled,
+            "member_id": self.member.member_id
+            if self.member is not None else None,
+            "registry": str(cluster_mod.members_dir()),
+            "members": [record.to_dict() for record in
+                        cluster_mod.load_members(include_stale=True)],
+        }
+
     def metrics(self) -> dict:
         uptime = max(1e-9, time.monotonic() - self.started_at)
         data = self.queue.snapshot()
@@ -617,16 +713,44 @@ class ServeApp:
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
                        payload: dict,
                        extra_headers: Optional[dict] = None) -> int:
-        body = _json_bytes(payload)
+        body, action = netfaults.respond("daemon.respond",
+                                         _json_bytes(payload))
         lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
                  "Content-Type: application/json",
                  f"Content-Length: {len(body)}"]
         for name, value in (extra_headers or {}).items():
             lines.append(f"{name}: {value}")
-        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
-                     + body)
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        if action != "ok":
+            return await self._respond_faulted(writer, status, head,
+                                               body, action)
+        writer.write(head + body)
         await writer.drain()
         return status
+
+    async def _respond_faulted(self, writer: asyncio.StreamWriter,
+                               status: int, head: bytes, body: bytes,
+                               action: str) -> int:
+        """Apply an injected response-side fault (netfaults shim).
+
+        Every action returns a negative status so the keep-alive loop
+        closes the connection: a blackholed, reset, half-sent or
+        duplicated response leaves the stream unusable by definition.
+        """
+        if action == "reset":
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()          # RST, not FIN
+            return -status
+        if action == "drop":
+            return -status                 # write nothing; FIN on close
+        if action == "half-close":
+            writer.write(head + body[:len(body) // 2])
+            await writer.drain()
+            return -status
+        writer.write(head + body + head + body)     # action == "dup"
+        await writer.drain()
+        return -status
 
 
 def start_in_thread(**kwargs) -> "ServeHandle":

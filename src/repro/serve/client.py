@@ -10,16 +10,22 @@ and the parsed JSON body — tests assert on status codes directly
 backpressure/quota).
 
 **Resilience.**  Transport failures (connection refused mid-restart,
-reset sockets) are retried with exponentially backed-off, deterministic
-jitter under a bounded budget (:class:`RetryPolicy`,
-``REPRO_CLIENT_RETRIES`` / ``REPRO_CLIENT_BACKOFF``), behind a simple
-open/half-open circuit breaker so a dead daemon fails fast instead of
-saturating its listen queue.  Protocol-level responses are *never*
-retried at this layer — a 429 is returned to the caller verbatim —
-but :meth:`ServeClient.submit_and_wait` honours 429 ``Retry-After``
+reset sockets, a garbled reply that fails to parse) are retried with
+exponentially backed-off, deterministic jitter under a bounded budget
+(:class:`RetryPolicy`, ``REPRO_CLIENT_RETRIES`` /
+``REPRO_CLIENT_BACKOFF``), behind a simple open/half-open circuit
+breaker so a dead daemon fails fast instead of saturating its listen
+queue.  Protocol-level responses are *never* retried at this layer —
+a 429 is returned to the caller verbatim — but
+:meth:`ServeClient.submit_and_wait` honours 429/503 ``Retry-After``
 and survives daemon restarts: a job id the new daemon has never heard
 of (404 ``unknown_job``) is resubmitted, and completed work re-serves
 as a cache hit.
+
+Every client-side socket operation crosses the ``repro.serve.netfaults``
+shim, so ``REPRO_NET_FAULTS`` can deterministically refuse dials,
+reset sends, and garble reads to prove all of the above recovery paths
+actually fire.
 """
 
 from __future__ import annotations
@@ -31,11 +37,22 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from repro.serve import netfaults
 from repro.sim.config import env_float, env_int
 
 
 class ServeClientError(RuntimeError):
     """The daemon could not be reached or answered garbage."""
+
+
+class GarbledResponseError(http.client.HTTPException):
+    """A reply that failed to parse as JSON.
+
+    Subclasses ``HTTPException`` so the transport retry loop treats a
+    corrupted-in-flight response exactly like a reset socket: every
+    request is idempotent by content-addressing, so re-asking is always
+    safe and usually succeeds.
+    """
 
 
 def client_retries() -> int:
@@ -133,6 +150,42 @@ class Response:
         raw = self.headers.get("retry-after")
         return int(raw) if raw is not None else None
 
+    @property
+    def result(self) -> Optional[dict]:
+        """The run-result payload, normalised across reply shapes.
+
+        An inline cache hit (200) carries the result at the top level;
+        a terminal job body (200 on ``/jobs/<id>``) nests it under
+        ``"result"``.  Returns None when no result is present (202
+        queued, 4xx, non-terminal job states).
+        """
+        nested = self.body.get("result")
+        if isinstance(nested, dict) and "status" in nested:
+            return nested
+        if self.body.get("status") in ("ok", "failed"):
+            return self.body
+        return None
+
+    @property
+    def run_status(self) -> Optional[str]:
+        """``"ok"``/``"failed"`` from the run result, or None."""
+        result = self.result
+        return result.get("status") if result else None
+
+    @property
+    def failure(self) -> Optional[dict]:
+        """The structured ``RunFailure`` body of a failed run.
+
+        Lets callers distinguish ``source="shutdown"`` (the daemon
+        failed the queued job on its way down — resubmittable) from a
+        real simulation failure, instead of pattern-matching on status
+        codes.  None when the run did not fail.
+        """
+        result = self.result
+        if result is not None and result.get("status") == "failed":
+            return result.get("failure") or {}
+        return None
+
 
 class ServeClient:
     """Talks to one daemon; ``client_id`` scopes the server-side quota."""
@@ -160,19 +213,21 @@ class ServeClient:
 
     def _request_once(self, method: str, path: str,
                       payload: Optional[dict] = None) -> Response:
+        netfaults.connect("client.connect")
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout)
         try:
             body = json.dumps(payload).encode() if payload is not None \
                 else None
+            netfaults.send("client.send")
             conn.request(method, path, body=body, headers=self._headers())
             raw = conn.getresponse()
-            data = raw.read()
+            data = netfaults.recv("client.recv", raw.read())
             headers = {k.lower(): v for k, v in raw.getheaders()}
             try:
                 parsed = json.loads(data.decode()) if data else {}
             except ValueError as exc:
-                raise ServeClientError(
+                raise GarbledResponseError(
                     f"{method} {path}: non-JSON body "
                     f"({data[:120]!r})") from exc
             return Response(status=raw.status, body=parsed,
@@ -184,11 +239,12 @@ class ServeClient:
                  payload: Optional[dict] = None) -> Response:
         """One request with transport-level retries.
 
-        Only connection failures (refused/reset/timeout — the daemon
-        restarting underneath us) are retried; any HTTP response,
-        including 4xx/5xx, is returned to the caller untouched.  A
-        non-JSON body is a protocol error, not a transport one, and is
-        never retried.
+        Connection failures (refused/reset/timeout — the daemon
+        restarting underneath us) and garbled replies
+        (:class:`GarbledResponseError` — corrupted in flight, safe to
+        re-ask because requests are idempotent by content-addressing)
+        are retried; any parseable HTTP response, including 4xx/5xx,
+        is returned to the caller untouched.
         """
         attempt = 0
         while True:
@@ -298,8 +354,8 @@ class ServeClient:
 
         Survives the daemon's whole failure protocol within *timeout*:
 
-        - **429 backpressure/quota** — sleeps out ``Retry-After`` (or
-          a policy backoff) and resubmits.
+        - **429 backpressure/quota, 503 draining** — sleeps out
+          ``Retry-After`` (or a policy backoff) and resubmits.
         - **daemon restart** — a transport failure mid-wait, a 404
           ``unknown_job`` from a daemon that lost its in-memory queue,
           or a job the old daemon failed with ``kind="shutdown"`` on
@@ -307,8 +363,12 @@ class ServeClient:
           re-serves as a cache hit, lost work re-queues.
 
         Anything else (400 bad request, a terminal job state) is
-        returned as-is.  Raises :class:`ServeClientError` only when
-        the deadline expires or the transport budget is exhausted.
+        returned as-is — a permanently-failed run comes back with the
+        replica's structured failure body intact, so
+        ``response.failure`` tells shutdown casualties apart from real
+        simulation failures.  Raises :class:`ServeClientError` only
+        when the deadline expires or the transport budget is
+        exhausted.
         """
         deadline = time.monotonic() + timeout
         round_no = 0
@@ -319,7 +379,7 @@ class ServeClient:
                     f"submit_and_wait: no terminal outcome within "
                     f"{timeout}s")
             response = self.submit(request)
-            if response.status == 429:
+            if response.status in (429, 503):
                 pause = response.retry_after_s \
                     or self.policy.delay_s(min(round_no, 6), "429")
                 time.sleep(min(pause, max(0.0, remaining)))

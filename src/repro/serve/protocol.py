@@ -142,6 +142,20 @@ def parse_run_request(data) -> RunRequest:
         gb_fraction=float(gb_fraction), config=config).resolved()
 
 
+def request_digest(data) -> str:
+    """The content address a daemon would assign this submission.
+
+    Validates *data* exactly like admission does and hashes the
+    resolved run key — the same digest that names the job id, the
+    cache entry, and (for the cluster client) the rendezvous placement
+    of the request, so client-side routing and server-side coalescing
+    agree by construction.
+    """
+    from repro.sim import cache as disk_cache
+
+    return disk_cache.key_digest(parse_run_request(data).key())
+
+
 def parse_submission(body) -> Dict[str, list]:
     """Parse a ``/batch`` body: ``{"requests": [...]}`` of objects."""
     _require(isinstance(body, dict) and isinstance(

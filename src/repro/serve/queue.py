@@ -100,6 +100,7 @@ class AdmissionQueue:
             "queued": 0,
             "rejected_queue_full": 0,
             "rejected_quota": 0,
+            "rejected_draining": 0,  # 503s sent while shutting down
             "completed_ok": 0,
             "completed_failed": 0,
             "completed_timeout": 0,

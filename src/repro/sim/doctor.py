@@ -21,6 +21,10 @@ store                 sqlite integrity failure    move DB aside (rebuilt
                                                   from cache by sync)
 store                 rows missing vs. cache      ``sync_from_cache``
 lease                 stale claim (> TTL)         unlink
+member                corrupt cluster record      unlink (re-published
+                                                  on next heartbeat)
+member                stale cluster record        unlink
+member                orphaned writer ``*.tmp``   unlink
 ====================  ==========================  ======================
 
 Nothing is ever deleted that could hold evidence (corrupt bytes go to
@@ -56,7 +60,7 @@ DEFAULT_LEASE_TTL_S = 300.0
 class DoctorFinding:
     """One problem the scan surfaced (and possibly repaired)."""
 
-    layer: str          # cache | snapshot | store | lease
+    layer: str          # cache | snapshot | store | lease | member
     kind: str           # corrupt | stale | tmp-orphan | divergence | ...
     path: str
     detail: str = ""
@@ -386,6 +390,70 @@ def _scan_leases(report: DoctorReport, repair: bool,
     report.scanned["lease"] = scanned
 
 
+def _scan_members(report: DoctorReport, repair: bool,
+                  tmp_age_s: float) -> None:
+    """Cluster membership records in ``<cache>/cluster/members``.
+
+    A record a replica stopped renewing (SIGKILL, wedge) or tore
+    mid-publish is pure liveness metadata: unlinking is always safe
+    because a live daemon re-publishes on its next heartbeat.
+    """
+    from repro.serve import cluster as cluster_mod
+
+    root = cluster_mod.members_dir()
+    ttl_s = cluster_mod.member_ttl()
+    scanned = 0
+    now = time.time()
+    if root.is_dir():
+        for path in sorted(root.glob("*.json")):
+            scanned += 1
+            kind = detail = None
+            try:
+                age = now - path.stat().st_mtime
+                data = json.loads(path.read_bytes().decode())
+                int(data["port"]), str(data["host"])
+            except OSError:
+                continue            # vanished mid-scan: clean shutdown
+            except (ValueError, KeyError, TypeError) as exc:
+                kind = "corrupt"
+                detail = f"unparseable member record: {exc}"
+            else:
+                if age > ttl_s:
+                    kind = "stale"
+                    detail = f"age {age:.0f}s > ttl {ttl_s:.0f}s"
+            if kind is None:
+                continue
+            finding = DoctorFinding(
+                layer="member", kind=kind, path=str(path),
+                detail=detail, action="unlink")
+            if repair:
+                try:
+                    path.unlink()
+                    finding.repaired = True
+                    finding.action = "unlinked"
+                except OSError as exc:
+                    finding.detail = str(exc)
+            report.findings.append(finding)
+        for path in sorted(root.glob("*.tmp")):
+            try:
+                if now - path.stat().st_mtime < tmp_age_s:
+                    continue        # possibly a live in-flight publish
+            except OSError:
+                continue
+            finding = DoctorFinding(
+                layer="member", kind="tmp-orphan", path=str(path),
+                detail="leaked by a crashed heartbeat", action="unlink")
+            if repair:
+                try:
+                    path.unlink()
+                    finding.repaired = True
+                    finding.action = "unlinked"
+                except OSError as exc:
+                    finding.detail = str(exc)
+            report.findings.append(finding)
+    report.scanned["member"] = scanned
+
+
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
@@ -397,11 +465,11 @@ def diagnose(repair: bool = False,
     """Scan (and with ``repair=True`` heal) the whole durable state.
 
     Covers the run cache, the snapshot store, the campaign sqlite store
-    (integrity + divergence from the cache), and claim leases.  The IO
-    fault shim is disarmed for the duration so an armed
-    ``REPRO_IO_FAULTS`` plan cannot sabotage its own cleanup; the
-    previous arming (including lazy re-arming from the environment) is
-    restored afterwards.
+    (integrity + divergence from the cache), claim leases, and cluster
+    membership records.  The IO fault shim is disarmed for the duration
+    so an armed ``REPRO_IO_FAULTS`` plan cannot sabotage its own
+    cleanup; the previous arming (including lazy re-arming from the
+    environment) is restored afterwards.
     """
     begin = time.perf_counter()
     report = DoctorReport(cache_dir=str(disk_cache.cache_dir()),
@@ -413,6 +481,7 @@ def diagnose(repair: bool = False,
         _scan_snapshots(report, repair, tmp_age_s)
         _scan_store(report, repair)
         _scan_leases(report, repair, lease_ttl_s)
+        _scan_members(report, repair, tmp_age_s)
     finally:
         iofaults._PLAN = saved_plan
     report.quarantine["cache"] = disk_cache.count_quarantine(

@@ -357,22 +357,31 @@ def replace(site: str, src, dst) -> None:
     os.replace(src, dst)
 
 
-def read_bytes(site: str, path) -> bytes:
+def read_bytes(site: str, path, limit: Optional[int] = None) -> bytes:
     """``Path.read_bytes`` with partial-read/eio/slow injection.
 
-    ``partial-read`` returns only the first half of the file — the
-    caller's validation must treat it exactly like a torn entry.
+    ``partial-read`` returns only the first half of the bytes — the
+    caller's validation must treat it exactly like a torn entry.  With
+    *limit*, at most that many leading bytes are read (header-only
+    probes stay header-sized even through the shim).
     """
     if not isinstance(path, Path):
         path = Path(path)
     if _PLAN is None:
-        return path.read_bytes()
+        return _read_limited(path, limit)
     fired = _actions(site)
     _raise_for(site, fired)
-    data = path.read_bytes()
+    data = _read_limited(path, limit)
     if any(clause.kind == "partial-read" for clause in fired):
         return data[:len(data) // 2]
     return data
+
+
+def _read_limited(path: Path, limit: Optional[int]) -> bytes:
+    if limit is None:
+        return path.read_bytes()
+    with path.open("rb") as handle:
+        return handle.read(limit)
 
 
 def fsync_dir(site: str, path) -> None:

@@ -158,14 +158,32 @@ def store(key: tuple, access_index: int, state: dict) -> bool:
     return True
 
 
+#: Upper bound on a snapshot header line (magic + JSON + newline);
+#: keeps header probes one small read even through the fault shim.
+_HEADER_READ_LIMIT = 1 << 16
+
+
 def read_header(path: Path) -> Optional[dict]:
-    """Parse and sanity-check a snapshot's header line (not the body)."""
+    """Parse and sanity-check a snapshot's header line (not the body).
+
+    Goes through ``iofaults.read_bytes`` (site ``snapshot.read``) so a
+    torn or partially-read header under ``REPRO_IO_FAULTS`` degrades to
+    ``None`` — the progress path reports "no progress yet" instead of
+    crashing or trusting doubtful bytes.
+    """
     try:
-        with path.open("rb") as handle:
-            if handle.read(len(MAGIC)) != MAGIC:
-                return None
-            header = json.loads(handle.readline().decode())
-    except (OSError, ValueError, UnicodeDecodeError):
+        raw = iofaults.read_bytes("snapshot.read", path,
+                                  limit=_HEADER_READ_LIMIT)
+    except OSError:
+        return None
+    if not raw.startswith(MAGIC):
+        return None
+    newline = raw.find(b"\n", len(MAGIC))
+    if newline < 0:
+        return None
+    try:
+        header = json.loads(raw[len(MAGIC):newline].decode())
+    except (ValueError, UnicodeDecodeError):
         return None
     if not isinstance(header, dict):
         return None

@@ -9,6 +9,8 @@ from repro.campaign import store as campaign_store
 from repro.campaign import worker as campaign_worker
 from repro.serve import app as serve_app
 from repro.serve import client as serve_client
+from repro.serve import cluster as serve_cluster
+from repro.serve import netfaults
 from repro.sim import iofaults, runner, snapshot, supervisor
 from repro.sim.config import ConfigurationError, env_float, env_int, env_str
 
@@ -261,3 +263,89 @@ class TestStorageFaultKnobs:
         assert not issubclass(iofaults.IOFaultSpecError, ValueError)
         assert iofaults.IOFaultSpecError \
             not in supervisor.PERMANENT_EXCEPTIONS
+
+
+class TestNetworkFaultKnobs:
+    """``REPRO_NET_FAULTS`` and the cluster knobs follow the same
+    contract: operator garbage is a named ConfigurationError."""
+
+    @pytest.mark.parametrize("spec", [
+        "frobnicate",                 # unknown kind
+        "refuse@x:site=client",       # non-integer index
+        "reset~2:site=daemon",        # seeded target missing /seed
+        "garble:sight=client.recv",   # unknown parameter
+        "delay:secs=soon",            # bad float
+        "drop@-1",                    # negative index
+    ])
+    def test_garbage_spec_is_configuration_error(self, monkeypatch, spec):
+        monkeypatch.setenv("REPRO_NET_FAULTS", spec)
+        with pytest.raises(ConfigurationError) as excinfo:
+            netfaults.plan_from_env()
+        assert "REPRO_NET_FAULTS" in str(excinfo.value)
+
+    def test_unset_and_blank_mean_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NET_FAULTS", raising=False)
+        assert netfaults.plan_from_env() is None
+        monkeypatch.setenv("REPRO_NET_FAULTS", "   ")
+        assert netfaults.plan_from_env() is None
+
+    def test_valid_spec_parses(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_NET_FAULTS",
+            "refuse@0:site=client.connect;garble~1/7:site=daemon")
+        plan = netfaults.plan_from_env()
+        assert [c.kind for c in plan] == ["refuse", "garble"]
+        assert plan[0].indices == (0,)
+        assert plan[1].count == 1 and plan[1].seed == 7
+
+    def test_spec_error_is_not_a_simulation_failure(self):
+        assert issubclass(netfaults.NetFaultSpecError, ConfigurationError)
+        assert not issubclass(netfaults.NetFaultSpecError, ValueError)
+
+    def test_member_ttl_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMBER_TTL", "forever")
+        with pytest.raises(ConfigurationError) as excinfo:
+            serve_cluster.member_ttl()
+        assert "REPRO_MEMBER_TTL" in str(excinfo.value)
+
+    def test_member_ttl_values(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MEMBER_TTL", raising=False)
+        assert serve_cluster.member_ttl() == \
+            serve_cluster.DEFAULT_MEMBER_TTL_S
+        monkeypatch.setenv("REPRO_MEMBER_TTL", "2.5")
+        assert serve_cluster.member_ttl() == 2.5
+
+
+class TestServeWatchdogKnob:
+    """The serial SIGALRM watchdog cannot arm on the daemon's executor
+    thread, so ``REPRO_RUN_TIMEOUT`` + a single engine job must be
+    refused at startup — not silently served unprotected."""
+
+    def test_run_timeout_with_one_job_refused(self, monkeypatch,
+                                              tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_RUN_TIMEOUT", "30")
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        with pytest.raises(ConfigurationError) as excinfo:
+            serve_app.start_in_thread(engine_jobs=1)
+        message = str(excinfo.value)
+        assert "REPRO_RUN_TIMEOUT" in message and "jobs" in message
+
+    def test_run_timeout_via_repro_jobs_env(self, monkeypatch,
+                                            tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_RUN_TIMEOUT", "30")
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        with pytest.raises(ConfigurationError):
+            serve_app.start_in_thread()
+
+    def test_no_timeout_allows_serial_engine(self, monkeypatch,
+                                             tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_RUN_TIMEOUT", raising=False)
+        handle = serve_app.start_in_thread(engine_jobs=1,
+                                           heal_on_start=False)
+        try:
+            assert handle.port > 0
+        finally:
+            handle.stop()

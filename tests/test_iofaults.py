@@ -271,6 +271,52 @@ class TestSnapshotLayer:
         assert snapshot_store.load(KEY) == (600, self.STATE)
 
 
+class TestPeekUnderFaults:
+    """``snapshot.peek`` — the serving layer's progress probe — must
+    degrade to "no progress yet" on any unreadable header, never crash
+    and never quarantine (the run is still writing that file)."""
+
+    STATE = {"component": {"counter": 123}}
+
+    def test_peek_healthy_header(self):
+        assert snapshot_store.store(KEY, 500, self.STATE)
+        header = snapshot_store.peek(KEY)
+        assert header is not None and header["access_index"] == 500
+
+    def test_peek_partial_read_header_degrades_to_none(self):
+        assert snapshot_store.store(KEY, 500, self.STATE)
+        iofaults.arm("partial-read:site=snapshot.read")
+        assert snapshot_store.peek(KEY) is None
+
+    def test_peek_injected_eio_degrades_to_none(self):
+        assert snapshot_store.store(KEY, 500, self.STATE)
+        iofaults.arm("eio:site=snapshot.read")
+        assert snapshot_store.peek(KEY) is None
+
+    def test_peek_torn_on_disk_header_degrades_to_none(self):
+        # Physically truncate mid-header — the artifact a torn write or
+        # power loss leaves, independent of any injected read fault.
+        assert snapshot_store.store(KEY, 500, self.STATE)
+        path = snapshot_store.snapshot_path(KEY)
+        raw = path.read_bytes()
+        newline = raw.index(b"\n", len(snapshot_store.MAGIC))
+        path.write_bytes(raw[:newline - 5])
+        assert snapshot_store.peek(KEY) is None
+        assert path.exists()            # peek never quarantines
+
+    def test_peek_faulted_probe_leaves_snapshot_usable(self):
+        assert snapshot_store.store(KEY, 500, self.STATE)
+        quarantined = snapshot_store.COUNTERS.get("quarantined", 0)
+        iofaults.arm("partial-read@0:site=snapshot.read")
+        assert snapshot_store.peek(KEY) is None
+        assert snapshot_store.COUNTERS.get(
+            "quarantined", 0) == quarantined
+        # The next probe (fault spent) sees the intact header again.
+        header = snapshot_store.peek(KEY)
+        assert header is not None and header["access_index"] == 500
+        assert snapshot_store.load(KEY) == (500, self.STATE)
+
+
 class TestLeaseLayer:
     def test_lease_write_fault_reads_as_contended(self, tmp_path):
         from repro.campaign import worker as worker_mod
